@@ -1,0 +1,311 @@
+package spin_test
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation, plus the ablations called out in DESIGN.md. The
+// figure benchmarks run the same sweeps as cmd/spinsweep at reduced scale
+// and report the headline quantity of the figure through b.ReportMetric,
+// so `go test -bench .` regenerates the whole evaluation.
+
+import (
+	"fmt"
+	"testing"
+
+	spin "repro"
+	"repro/internal/exp"
+	spinimpl "repro/internal/spin"
+)
+
+// benchOpts keeps benchmark sweeps fast while preserving shape.
+func benchOpts() exp.Options {
+	return exp.Options{Cycles: 4000, Warmup: 400, Small: true, Seed: 9}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.Table2() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.Table3() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		min := 0.0
+		for _, e := range res.Entries {
+			if e.MinRate > 0 && (min == 0 || e.MinRate < min) {
+				min = e.MinRate
+			}
+		}
+		b.ReportMetric(min, "min_deadlock_rate")
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	o := benchOpts()
+	o.Cycles = 2500
+	for i := 0; i < b.N; i++ {
+		figs, err := exp.Fig6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(figs)), "patterns")
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := exp.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(figs)), "patterns")
+	}
+}
+
+func BenchmarkFig8a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig8a(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GeoMean(), "edp_geomean_vs_escape")
+	}
+}
+
+func BenchmarkFig8b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig8b(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Entries[2].SMAll, "sm_util_high_load")
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var spins int64
+		for _, e := range res.Entries {
+			spins += e.Spins
+		}
+		b.ReportMetric(float64(spins), "total_spins")
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.Fig10()
+		for _, e := range res.Entries {
+			if e.Design == "spin" {
+				b.ReportMetric(e.Normalized-1, "spin_area_overhead")
+			}
+		}
+	}
+}
+
+func BenchmarkCosts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := exp.Costs()
+		b.ReportMetric(c.Rows[0].AreaSave1v3, "mesh_area_save_1v3")
+	}
+}
+
+// ablationRun measures delivered packets and spins for a SPIN variant
+// under a fixed adversarial load.
+func ablationRun(b *testing.B, sc spinimpl.Config) (float64, float64) {
+	b.Helper()
+	s, err := spin.New(spin.Config{
+		Topology:   "mesh:4x4",
+		Routing:    "min_adaptive",
+		Scheme:     "spin",
+		VCsPerVNet: 1,
+		Traffic:    "bit_complement",
+		Rate:       0.5,
+		Warmup:     500,
+		Seed:       13,
+		SPIN:       sc,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run(6000)
+	return s.AvgLatency(), float64(s.Spins())
+}
+
+// BenchmarkAblationTDD sweeps the detection threshold: small tDD detects
+// fast but probes more; large tDD stalls recovery (DESIGN.md ablation).
+func BenchmarkAblationTDD(b *testing.B) {
+	for _, tdd := range []int64{32, 128, 512} {
+		b.Run(benchName("tdd", tdd), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lat, spins := ablationRun(b, spinimpl.Config{TDD: tdd})
+				b.ReportMetric(lat, "avg_latency")
+				b.ReportMetric(spins, "spins")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEpoch sweeps the rotating-priority epoch factor.
+func BenchmarkAblationEpoch(b *testing.B) {
+	for _, ef := range []int64{2, 4, 8} {
+		b.Run(benchName("epoch", ef), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lat, spins := ablationRun(b, spinimpl.Config{TDD: 64, EpochFactor: ef})
+				b.ReportMetric(lat, "avg_latency")
+				b.ReportMetric(spins, "spins")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationProbeMove compares the multi-spin optimisation on/off.
+func BenchmarkAblationProbeMove(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "probe_move_on"
+		if disable {
+			name = "probe_move_off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lat, spins := ablationRun(b, spinimpl.Config{TDD: 64, DisableProbeMove: disable})
+				b.ReportMetric(lat, "avg_latency")
+				b.ReportMetric(spins, "spins")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationProbeFork compares probe forking on/off in a multi-VC
+// configuration where inter-dependent cycles require it.
+func BenchmarkAblationProbeFork(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "fork_on"
+		if disable {
+			name = "fork_off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := spin.New(spin.Config{
+					Topology:   "mesh:4x4",
+					Routing:    "min_adaptive",
+					Scheme:     "spin",
+					VCsPerVNet: 3,
+					Traffic:    "bit_complement",
+					Rate:       0.5,
+					Warmup:     500,
+					Seed:       13,
+					SPIN:       spinimpl.Config{TDD: 64, DisableProbeFork: disable},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Run(6000)
+				b.ReportMetric(float64(s.Stats().Counter("recoveries")), "recoveries")
+				b.ReportMetric(float64(s.Stats().Ejected), "delivered")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineMeshCycles measures raw simulator speed: router-cycles
+// per second on a busy 8x8 mesh.
+func BenchmarkEngineMeshCycles(b *testing.B) {
+	s, err := spin.New(spin.Config{
+		Topology:   "mesh:8x8",
+		Routing:    "min_adaptive",
+		Scheme:     "spin",
+		VCsPerVNet: 3,
+		Traffic:    "uniform_random",
+		Rate:       0.3,
+		Seed:       17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run(1000) // warm the network
+	b.ResetTimer()
+	s.Run(int64(b.N))
+	b.ReportMetric(float64(64), "routers")
+}
+
+// BenchmarkSpinRecoveryLatency measures the time from deadlock formation
+// to resolution for the canonical square ring.
+func BenchmarkSpinRecoveryLatency(b *testing.B) {
+	total := int64(0)
+	runs := 0
+	for i := 0; i < b.N; i++ {
+		s, err := spin.New(spin.Config{
+			Topology:   "mesh:4x4",
+			Routing:    "min_adaptive",
+			Scheme:     "spin",
+			VCsPerVNet: 1,
+			Traffic:    "transpose",
+			Rate:       0.5,
+			Seed:       int64(i + 1),
+			TDD:        64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run(4000)
+		if sp := s.Spins(); sp > 0 {
+			total += sp
+			runs++
+		}
+	}
+	if runs > 0 {
+		b.ReportMetric(float64(total)/float64(runs), "spins_per_run")
+	}
+}
+
+func benchName(prefix string, v int64) string {
+	return fmt.Sprintf("%s_%d", prefix, v)
+}
+
+// BenchmarkExtensionTorus compares DOR+bubble flow control against
+// MinAdaptive+SPIN on a torus (extension experiment).
+func BenchmarkExtensionTorus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Torus(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SPIN[0], "spin_lowload_latency")
+	}
+}
+
+// BenchmarkExtensionDeflection quantifies Table I's deflection row.
+func BenchmarkExtensionDeflection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Deflection(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgDeflect[len(res.AvgDeflect)-1], "deflects_per_flit_high_load")
+	}
+}

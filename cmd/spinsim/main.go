@@ -1,0 +1,146 @@
+// Command spinsim runs one network configuration and prints its
+// performance and recovery statistics.
+//
+// Usage:
+//
+//	spinsim -topo mesh:8x8 -routing favors_min -scheme spin -vcs 1 \
+//	        -traffic uniform_random -rate 0.3 -cycles 100000
+//	spinsim -preset mesh_favors_min -traffic transpose -rate 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	spin "repro"
+	"repro/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spinsim: ")
+	var (
+		preset  = flag.String("preset", "", "named configuration from Table III (see spintables -table 3)")
+		topo    = flag.String("topo", "mesh:8x8", "topology spec (mesh:XxY, torus:XxY, ring:N, dragonfly:p,a,h,g, dragonfly1024, irregular:XxY:F)")
+		routing = flag.String("routing", "min_adaptive", "routing algorithm")
+		scheme  = flag.String("scheme", "", "deadlock scheme: spin, static_bubble, ring_bubble or empty")
+		vcs     = flag.Int("vcs", 1, "VCs per virtual network")
+		vnets   = flag.Int("vnets", 1, "virtual networks")
+		pattern = flag.String("traffic", "uniform_random", "synthetic traffic pattern")
+		rate    = flag.Float64("rate", 0.1, "offered load (flits/node/cycle)")
+		cycles  = flag.Int64("cycles", 100000, "simulated cycles")
+		warmup  = flag.Int64("warmup", 10000, "warmup cycles before measurement")
+		seed    = flag.Int64("seed", 1, "random seed")
+		tdd     = flag.Int64("tdd", 0, "deadlock detection threshold (0 = default 128)")
+		drain   = flag.Bool("drain", false, "after the run, stop traffic and drain (liveness check)")
+		record  = flag.String("record", "", "record the injected workload to a CSV trace file")
+		replay  = flag.String("replay", "", "drive the run from a CSV trace file instead of -traffic")
+	)
+	flag.Parse()
+
+	cfg := spin.Config{
+		Topology:   *topo,
+		Routing:    *routing,
+		Scheme:     *scheme,
+		VCsPerVNet: *vcs,
+		VNets:      *vnets,
+		Traffic:    *pattern,
+		Rate:       *rate,
+		Warmup:     *warmup,
+		Seed:       *seed,
+		TDD:        *tdd,
+	}
+	if *preset != "" {
+		p, err := spin.PresetByName(*preset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = p.Config
+		cfg.Traffic = *pattern
+		cfg.Rate = *rate
+		cfg.Warmup = *warmup
+		cfg.Seed = *seed
+		cfg.TDD = *tdd
+	}
+	if *replay != "" {
+		cfg.Traffic = "" // the trace drives injection
+	}
+	s, err := spin.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var recorder *traffic.Recorder
+	switch {
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := traffic.LoadTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		nc := s.Network().Config()
+		if err := tr.Validate(s.Topology().NumTerminals(), nc.VNets, nc.MaxPktLen); err != nil {
+			log.Fatal(err)
+		}
+		s.Network().SetTraffic(&traffic.Replay{Trace: tr})
+	case *record != "":
+		recorder = &traffic.Recorder{Gen: s.Network().Config().Traffic}
+		s.Network().SetTraffic(recorder)
+	}
+	s.Run(*cycles)
+	if recorder != nil {
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := recorder.Trace.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace           %d injections recorded to %s\n", len(recorder.Trace.Entries), *record)
+	}
+	st := s.Stats()
+	fmt.Printf("topology        %s (%d routers, %d terminals)\n",
+		s.Topology().Name(), s.Topology().NumRouters(), s.Topology().NumTerminals())
+	fmt.Printf("config          routing=%s scheme=%s vnets=%d vcs=%d\n", cfg.Routing, orNone(cfg.Scheme), maxi(1, cfg.VNets), maxi(1, cfg.VCsPerVNet))
+	fmt.Printf("offered         %s @ %.3f flits/node/cycle, %d cycles\n", cfg.Traffic, cfg.Rate, *cycles)
+	fmt.Printf("packets         injected=%d ejected=%d in-flight=%d queued=%d\n",
+		st.Injected, st.Ejected, s.Network().InFlight(), s.Network().QueuedPackets())
+	fmt.Printf("latency         avg=%.1f net=%.1f max=%d cycles\n", st.AvgLatency(), st.AvgNetLatency(), st.MaxLatency)
+	fmt.Printf("throughput      %.4f flits/node/cycle, %.2f avg hops\n", s.Throughput(), st.AvgHops())
+	u := s.Network().LinkUtilisation()
+	fmt.Printf("links           flit=%.3f sm=%.4f idle=%.3f\n", u.Flit, u.SMAll, u.Idle)
+	if cfg.Scheme == "spin" {
+		fmt.Printf("spin            spins=%d recoveries=%d probes=%d kill_moves=%d\n",
+			st.Spins, st.Counter("recoveries"), st.Counter("probes_sent"), st.Counter("kill_moves_sent"))
+	}
+	if *drain {
+		if s.Drain(10 * *cycles) {
+			fmt.Println("drain           complete: every packet delivered")
+		} else {
+			fmt.Printf("drain           INCOMPLETE: %d still in flight\n", s.Network().InFlight())
+			os.Exit(1)
+		}
+	}
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+// Command spinsweep regenerates the paper's figures: it runs the
+// parameter sweeps behind each plot and prints the data series.
+//
+// Usage:
+//
+//	spinsweep -fig 3            # deadlock onset rates
+//	spinsweep -fig 6            # dragonfly latency curves
+//	spinsweep -fig 7            # mesh latency curves
+//	spinsweep -fig 8a           # PARSEC network EDP
+//	spinsweep -fig 8b           # link utilisation breakdown
+//	spinsweep -fig 9            # spins and false positives
+//	spinsweep -fig 10           # area overheads
+//	spinsweep -fig all
+//	spinsweep -fig 7 -cycles 100000 -full   # paper-scale run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spinsweep: ")
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 3, 6, 7, 8a, 8b, 9, 10, costs, torus, deflection, all")
+		cycles = flag.Int64("cycles", 0, "cycles per point (0 = default 20000)")
+		warmup = flag.Int64("warmup", 0, "warmup cycles (0 = cycles/10)")
+		full   = flag.Bool("full", false, "full-size topologies (8x8 mesh, 1024-node dragonfly); default uses scaled-down instances")
+		seed   = flag.Int64("seed", 1, "random seed")
+		asJSON = flag.Bool("json", false, "emit results as JSON instead of text")
+	)
+	flag.Parse()
+	o := exp.Options{Cycles: *cycles, Warmup: *warmup, Small: !*full, Seed: *seed}
+	emit := func(v interface{}) error {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(v)
+		}
+		fmt.Print(v)
+		return nil
+	}
+
+	run := map[string]func() error{
+		"3": func() error {
+			r, err := exp.Fig3(o)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		},
+		"6": func() error {
+			figs, err := exp.Fig6(o)
+			if err != nil {
+				return err
+			}
+			return emitFigures(figs, emit, *asJSON)
+		},
+		"7": func() error {
+			figs, err := exp.Fig7(o)
+			if err != nil {
+				return err
+			}
+			return emitFigures(figs, emit, *asJSON)
+		},
+		"8a": func() error {
+			r, err := exp.Fig8a(o)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		},
+		"8b": func() error {
+			r, err := exp.Fig8b(o)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		},
+		"9": func() error {
+			r, err := exp.Fig9(o)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		},
+		"10": func() error {
+			return emit(exp.Fig10())
+		},
+		"costs": func() error {
+			return emit(exp.Costs())
+		},
+		"torus": func() error {
+			r, err := exp.Torus(o)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		},
+		"deflection": func() error {
+			r, err := exp.Deflection(o)
+			if err != nil {
+				return err
+			}
+			return emit(r)
+		},
+	}
+	if *fig == "all" {
+		for _, k := range []string{"3", "6", "7", "8a", "8b", "9", "10", "costs", "torus", "deflection"} {
+			fmt.Printf("\n===== fig %s =====\n", k)
+			if err := run[k](); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+	f, ok := run[*fig]
+	if !ok {
+		log.Fatalf("unknown figure %q", *fig)
+	}
+	if err := f(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func emitFigures(figs map[string]*exp.Figure, emit func(interface{}) error, asJSON bool) error {
+	if asJSON {
+		return emit(figs)
+	}
+	var keys []string
+	for k := range figs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(figs[k])
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Command spintables regenerates the paper's tables: the qualitative
+// framework comparison (Table I, with its CDG claims verified
+// mechanically), SPIN's router modules (Table II) and the evaluated
+// network configurations (Table III).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spintables: ")
+	table := flag.Int("table", 0, "table to print: 1, 2, 3 (0 = all)")
+	flag.Parse()
+
+	if *table == 0 || *table == 1 {
+		t1, err := exp.Table1()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t1)
+	}
+	if *table == 0 || *table == 2 {
+		fmt.Println(exp.Table2())
+	}
+	if *table == 0 || *table == 3 {
+		fmt.Println(exp.Table3())
+	}
+}

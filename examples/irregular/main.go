@@ -1,0 +1,43 @@
+// Irregular topologies: the motivating use case for SPIN's topology
+// agnosticism. Power-gating or faults remove mesh links at run time; turn
+// models and escape-VC designs would need re-derived routing restrictions,
+// but fully-adaptive minimal routing plus SPIN works unchanged on every
+// fault pattern.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	spin "repro"
+	"repro/internal/topology"
+)
+
+func main() {
+	for _, faults := range []int{0, 4, 8, 12} {
+		sim, err := spin.New(spin.Config{
+			Topology:   fmt.Sprintf("irregular:8x8:%d", faults),
+			Routing:    "min_adaptive",
+			Scheme:     "spin",
+			VNets:      3,
+			VCsPerVNet: 1,
+			Traffic:    "uniform_random",
+			Rate:       0.10,
+			Warmup:     2000,
+			Seed:       7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		irr := sim.Topology().(*topology.IrregularMesh)
+		sim.Run(20000)
+		ok := sim.Drain(400000)
+		fmt.Printf("faulty links=%2d removed=%v\n", len(irr.RemovedPairs), irr.RemovedPairs)
+		fmt.Printf("  latency=%.1f cycles, throughput=%.3f, spins=%d, drained=%v\n",
+			sim.AvgLatency(), sim.Throughput(), sim.Spins(), ok)
+		if !ok {
+			log.Fatal("network not live — SPIN should keep any connected topology deadlock-free")
+		}
+	}
+	fmt.Println("all fault patterns stayed live under SPIN with 1 VC")
+}

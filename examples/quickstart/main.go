@@ -1,0 +1,43 @@
+// Quickstart: an 8x8 mesh running the paper's FAvORS-Min routing with a
+// single virtual channel — a configuration that is only deadlock-free
+// because SPIN recovers from the cycles fully-adaptive routing creates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	spin "repro"
+)
+
+func main() {
+	sim, err := spin.New(spin.Config{
+		Topology:   "mesh:8x8",
+		Routing:    "favors_min",
+		Scheme:     "spin",
+		VNets:      3, // directory-protocol message classes, as in the paper
+		VCsPerVNet: 1,
+		Traffic:    "uniform_random",
+		Rate:       0.15,
+		Warmup:     5000,
+		Seed:       42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.Run(50000)
+
+	st := sim.Stats()
+	fmt.Printf("delivered %d packets\n", st.Ejected)
+	fmt.Printf("average latency: %.1f cycles\n", sim.AvgLatency())
+	fmt.Printf("throughput: %.3f flits/node/cycle\n", sim.Throughput())
+	fmt.Printf("deadlocks recovered by SPIN: %d recoveries, %d spins\n",
+		st.Counter("recoveries"), sim.Spins())
+
+	// Liveness check: stop traffic and drain every queued packet.
+	if sim.Drain(500000) {
+		fmt.Println("drain complete: network is live")
+	} else {
+		fmt.Println("drain incomplete!")
+	}
+}

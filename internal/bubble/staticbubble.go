@@ -1,0 +1,116 @@
+package bubble
+
+import (
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// StaticBubble models the Static Bubble deadlock-recovery scheme for
+// meshes: VC 0 of every vnet is a reserved recovery buffer that carries no
+// traffic in normal operation (this is the cost Fig. 7 charges the
+// scheme). A per-router timeout detects blocked packets; a detected packet
+// is granted entry into the recovery VC, through which it drains over the
+// dimension-ordered (acyclic) path. Packets already in the recovery VC
+// keep using it freely, so the drain can never deadlock.
+type StaticBubble struct {
+	Mesh *topology.Mesh
+	// TDD is the detection timeout in cycles (default 128).
+	TDD int64
+
+	net    *sim.Network
+	agents []*sbAgent
+}
+
+// Name implements sim.Scheme.
+func (s *StaticBubble) Name() string { return "static_bubble" }
+
+// Attach implements sim.Scheme.
+func (s *StaticBubble) Attach(n *sim.Network) {
+	if s.TDD == 0 {
+		s.TDD = 128
+	}
+	s.net = n
+	for i := 0; i < n.NumRouters(); i++ {
+		a := &sbAgent{scheme: s, r: n.Router(i)}
+		s.agents = append(s.agents, a)
+		n.SetAgent(i, a)
+	}
+}
+
+// Routing returns the routing algorithm Static Bubble pairs with:
+// fully-adaptive minimal requests over the regular VCs plus the
+// dimension-ordered recovery request on VC 0 (vetoed by the agent until a
+// timeout fires). vcs is the configuration's VCs per vnet.
+func (s *StaticBubble) Routing(vcs int) sim.RoutingAlgorithm {
+	return &routing.EscapeVC{Mesh: s.Mesh, VCs: vcs}
+}
+
+type sbAgent struct {
+	sim.BaseAgent
+	scheme *StaticBubble
+	r      *sim.Router
+
+	// blockedSince tracks, per (port, vc), when the resident packet became
+	// head-blocked (0 = not blocked).
+	blockedSince map[[2]int]int64
+	// recovery marks VCs whose resident has been released into the
+	// recovery buffer path.
+	recovery map[[2]int]uint64 // -> packet id
+}
+
+// Tick implements sim.Agent: advance the blocked timers.
+func (a *sbAgent) Tick() {
+	now := a.r.Now()
+	if a.blockedSince == nil {
+		a.blockedSince = map[[2]int]int64{}
+		a.recovery = map[[2]int]uint64{}
+	}
+	for p := a.r.LocalPorts(); p < a.r.Radix(); p++ {
+		for k := 0; k < a.r.VCsPerPort(); k++ {
+			v := a.r.VC(p, k)
+			key := [2]int{p, k}
+			pk := v.FrontPacket()
+			if pk == nil || v.WaitingToEject() || v.Granted() >= 0 {
+				delete(a.blockedSince, key)
+				delete(a.recovery, key)
+				continue
+			}
+			if since, ok := a.blockedSince[key]; !ok {
+				a.blockedSince[key] = now
+			} else if now-since >= a.scheme.TDD {
+				if a.recovery[key] != pk.ID {
+					a.recovery[key] = pk.ID
+					a.r.Net().Stats().Count("static_bubble_recoveries", 1)
+				}
+			}
+		}
+	}
+}
+
+// FilterSend implements sim.Agent: VC 0 is the reserved recovery buffer.
+// Entry is allowed only for packets already travelling in a recovery VC
+// (the acyclic drain) or blocked packets released by the timeout.
+func (a *sbAgent) FilterSend(vc *sim.VC, outPort int, dvc *sim.VC) bool {
+	if dvc.Index()%a.r.Net().Config().VCsPerVNet != 0 {
+		return true // regular VC: no restriction
+	}
+	// Recovery packets keep draining through recovery VCs.
+	if vc.Index()%a.r.Net().Config().VCsPerVNet == 0 && vc.Port() >= a.r.LocalPorts() {
+		return true
+	}
+	pk := vc.FrontPacket()
+	if pk == nil {
+		return false
+	}
+	if a.recovery == nil {
+		return false
+	}
+	return a.recovery[[2]int{vc.Port(), vc.Index()}] == pk.ID
+}
+
+// FilterInject implements sim.Agent: fresh packets may not claim the
+// recovery buffer.
+func (a *sbAgent) FilterInject(vc *sim.VC, _ *sim.Packet) bool {
+	return vc.Index()%a.r.Net().Config().VCsPerVNet != 0
+}

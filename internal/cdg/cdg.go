@@ -1,0 +1,273 @@
+// Package cdg builds and analyses channel dependency graphs (Dally &
+// Seitz). A CDG node is a virtual channel class (link × VC); an edge u→v
+// exists when some packet can hold u while requesting v. Dally's theorem:
+// a routing function is deadlock-free on a network if its CDG is acyclic.
+// Duato's extension: it suffices that an escape sub-network's CDG is
+// acyclic and always reachable.
+//
+// The package verifies the paper's baselines mechanically: XY and
+// West-first are acyclic, fully-adaptive minimal routing is cyclic (hence
+// needs SPIN), the escape-VC configuration has an acyclic escape
+// sub-graph, and the dragonfly VC ladder is acyclic while free VC use is
+// not.
+package cdg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Channel identifies a CDG node: a directed link (by index into
+// Topology.Links()) and a VC class on it.
+type Channel struct {
+	Link int
+	VC   int
+}
+
+// Graph is a channel dependency graph.
+type Graph struct {
+	topo     topology.Topology
+	vcs      int
+	channels []Channel
+	index    map[Channel]int
+	adj      [][]int
+}
+
+// DependencyFunc enumerates, for a packet that occupies VC class heldVC on
+// the link arriving at router r via input port inPort with destination
+// dst, the (outPort, vcMask) pairs it may request next. Injection is
+// modelled with inPort = -1 and heldVC = -1. It mirrors
+// sim.RoutingAlgorithm at the level of static analysis: implementations
+// must enumerate every choice the dynamic algorithm could make.
+type DependencyFunc func(r, inPort, heldVC, dst int) []Request
+
+// Request names an output port and the admissible VC classes there.
+type Request struct {
+	Port   int
+	VCMask uint32
+}
+
+// Build constructs the CDG for a topology with vcs VC classes per link
+// under the given dependency function. For every destination it traverses
+// exactly the (channel, VC-class) states packets headed there can reach —
+// dependencies that no real route produces (e.g. an eastbound XY channel
+// "requesting" a westward turn) are never added, so the analysis is exact
+// for incremental routing functions.
+func Build(topo topology.Topology, vcs int, dep DependencyFunc) *Graph {
+	g := &Graph{topo: topo, vcs: vcs, index: map[Channel]int{}}
+	links := topo.Links()
+	for li := range links {
+		for v := 0; v < vcs; v++ {
+			c := Channel{Link: li, VC: v}
+			g.index[c] = len(g.channels)
+			g.channels = append(g.channels, c)
+		}
+	}
+	g.adj = make([][]int, len(g.channels))
+	edge := map[[2]int]bool{}
+	// linkAt[(r, p)] is the index of the link leaving router r via port p.
+	linkAt := make(map[[2]int]int)
+	for li, l := range links {
+		linkAt[[2]int{l.Src, l.SrcPort}] = li
+	}
+	routers := topo.NumRouters()
+	visited := make([]bool, len(g.channels))
+	var stack []int
+	addState := func(r int, req Request) {
+		nli, ok := linkAt[[2]int{r, req.Port}]
+		if !ok {
+			return
+		}
+		for v := 0; v < vcs; v++ {
+			if req.VCMask&(1<<uint(v)) == 0 {
+				continue
+			}
+			n := g.index[Channel{Link: nli, VC: v}]
+			if !visited[n] {
+				visited[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	for dst := 0; dst < routers; dst++ {
+		for i := range visited {
+			visited[i] = false
+		}
+		stack = stack[:0]
+		// Seed with injection at every source.
+		for src := 0; src < routers; src++ {
+			if src == dst {
+				continue
+			}
+			for _, req := range dep(src, -1, -1, dst) {
+				addState(src, req)
+			}
+		}
+		// Traverse held states, recording channel-to-channel edges.
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			c := g.channels[u]
+			l := links[c.Link]
+			r := l.Dst
+			if r == dst {
+				continue // ejection releases the channel
+			}
+			for _, req := range dep(r, l.DstPort, c.VC, dst) {
+				nli, ok := linkAt[[2]int{r, req.Port}]
+				if !ok {
+					continue
+				}
+				for v := 0; v < vcs; v++ {
+					if req.VCMask&(1<<uint(v)) == 0 {
+						continue
+					}
+					w := g.index[Channel{Link: nli, VC: v}]
+					if !edge[[2]int{u, w}] {
+						edge[[2]int{u, w}] = true
+						g.adj[u] = append(g.adj[u], w)
+					}
+					if !visited[w] {
+						visited[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
+		}
+	}
+	for _, a := range g.adj {
+		sort.Ints(a)
+	}
+	return g
+}
+
+// NumChannels reports the CDG node count.
+func (g *Graph) NumChannels() int { return len(g.channels) }
+
+// NumEdges reports the CDG edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, a := range g.adj {
+		n += len(a)
+	}
+	return n
+}
+
+// Cycles returns the non-trivial strongly connected components of the
+// CDG (each contains at least one dependency cycle), as channel lists.
+// An empty result proves the routing deadlock-free by Dally's theorem.
+func (g *Graph) Cycles() [][]Channel {
+	sccs := g.tarjan()
+	var out [][]Channel
+	for _, scc := range sccs {
+		if len(scc) > 1 {
+			chs := make([]Channel, len(scc))
+			for i, n := range scc {
+				chs[i] = g.channels[n]
+			}
+			out = append(out, chs)
+			continue
+		}
+		// Single node with a self-loop is also a cycle.
+		n := scc[0]
+		for _, w := range g.adj[n] {
+			if w == n {
+				out = append(out, []Channel{g.channels[n]})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Acyclic reports whether the CDG has no dependency cycles.
+func (g *Graph) Acyclic() bool { return len(g.Cycles()) == 0 }
+
+// tarjan computes strongly connected components iteratively.
+func (g *Graph) tarjan() [][]int {
+	n := len(g.adj)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int
+		sccs    [][]int
+		counter int
+	)
+	type frame struct {
+		node, edge int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		frames := []frame{{node: start}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.edge < len(g.adj[f.node]) {
+				w := g.adj[f.node][f.edge]
+				f.edge++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w})
+				} else if onStack[w] && index[w] < low[f.node] {
+					low[f.node] = index[w]
+				}
+				continue
+			}
+			node := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if low[node] < low[parent] {
+					low[parent] = low[node]
+				}
+			}
+			if low[node] == index[node] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == node {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// Describe summarises the analysis for reports.
+func (g *Graph) Describe() string {
+	cycles := g.Cycles()
+	if len(cycles) == 0 {
+		return fmt.Sprintf("CDG: %d channels, %d edges, acyclic (Dally-deadlock-free)", g.NumChannels(), g.NumEdges())
+	}
+	largest := 0
+	for _, c := range cycles {
+		if len(c) > largest {
+			largest = len(c)
+		}
+	}
+	return fmt.Sprintf("CDG: %d channels, %d edges, %d cyclic component(s), largest %d channels",
+		g.NumChannels(), g.NumEdges(), len(cycles), largest)
+}

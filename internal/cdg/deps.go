@@ -1,0 +1,147 @@
+package cdg
+
+import (
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// XYDep is the dependency function of dimension-ordered mesh routing.
+func XYDep(m *topology.Mesh) DependencyFunc {
+	return func(r, _, _, dst int) []Request {
+		return []Request{{Port: routing.XYPort(m, r, dst), VCMask: sim.AllVCs}}
+	}
+}
+
+// WestFirstDep is the dependency function of west-first turn-model
+// routing: every legal adaptive choice becomes an edge.
+func WestFirstDep(m *topology.Mesh) DependencyFunc {
+	return func(r, _, _, dst int) []Request {
+		var reqs []Request
+		for _, p := range routing.WestFirstPorts(m, r, dst, nil) {
+			reqs = append(reqs, Request{Port: p, VCMask: sim.AllVCs})
+		}
+		return reqs
+	}
+}
+
+// MinAdaptiveDep is the dependency function of fully-adaptive minimal
+// routing with unrestricted VC use — the configuration SPIN makes legal.
+func MinAdaptiveDep(topo topology.Topology) DependencyFunc {
+	return func(r, _, _, dst int) []Request {
+		var reqs []Request
+		for _, p := range topo.MinimalPorts(r, dst) {
+			reqs = append(reqs, Request{Port: p, VCMask: sim.AllVCs})
+		}
+		return reqs
+	}
+}
+
+// EscapeDep is the Duato escape-VC configuration: adaptive requests over
+// the regular VCs (classes 1..vcs-1) plus a dimension-ordered escape
+// request on VC 0, from any held VC.
+func EscapeDep(m *topology.Mesh, vcs int) DependencyFunc {
+	regular := (uint32(1)<<uint(vcs) - 1) &^ 1
+	return func(r, _, _, dst int) []Request {
+		var reqs []Request
+		for _, p := range m.MinimalPorts(r, dst) {
+			reqs = append(reqs, Request{Port: p, VCMask: regular})
+		}
+		reqs = append(reqs, Request{Port: routing.XYPort(m, r, dst), VCMask: 1})
+		return reqs
+	}
+}
+
+// EscapeSubgraphDep restricts EscapeDep to the escape network alone
+// (VC 0, dimension-ordered): Duato's condition requires exactly this
+// sub-CDG to be acyclic.
+func EscapeSubgraphDep(m *topology.Mesh) DependencyFunc {
+	return func(r, _, held, dst int) []Request {
+		if held > 0 {
+			return nil
+		}
+		return []Request{{Port: routing.XYPort(m, r, dst), VCMask: 1}}
+	}
+}
+
+// TorusDORDep is dimension-ordered routing on a torus, taking the
+// shorter wraparound direction per dimension. With one VC its CDG is
+// cyclic around each ring — the classic motivation for bubble flow
+// control and dateline VCs.
+func TorusDORDep(m *topology.Mesh) DependencyFunc {
+	return func(r, _, _, dst int) []Request {
+		cx, cy := m.Coords(r)
+		dx, dy := m.Coords(dst)
+		var port int
+		switch {
+		case cx != dx:
+			east := ((dx - cx) + m.X) % m.X
+			if east <= m.X-east {
+				port = topology.MeshPort(topology.East)
+			} else {
+				port = topology.MeshPort(topology.West)
+			}
+		case cy != dy:
+			north := ((dy - cy) + m.Y) % m.Y
+			if north <= m.Y-north {
+				port = topology.MeshPort(topology.North)
+			} else {
+				port = topology.MeshPort(topology.South)
+			}
+		default:
+			return nil
+		}
+		return []Request{{Port: port, VCMask: sim.AllVCs}}
+	}
+}
+
+// DflyLadderDep is the dragonfly Dally VC ladder: a packet in VC class k
+// has crossed k global channels; it moves to VC k on local hops and VC
+// k+1 across global channels, which orders channel acquisition and makes
+// the extended CDG acyclic.
+func DflyLadderDep(d *topology.Dragonfly, vcs int) DependencyFunc {
+	return func(r, inPort, held, dst int) []Request {
+		// The VC class climbs when the held channel is a global one (the
+		// packet's global-hop count incremented on traversal).
+		cls := held
+		if cls < 0 {
+			cls = 0
+		}
+		if inPort >= 0 && d.IsGlobalPort(inPort) {
+			cls++
+		}
+		if cls >= vcs {
+			return nil
+		}
+		mask := uint32(1) << uint(cls)
+		var reqs []Request
+		gd := d.Group(dst)
+		if d.Group(r) == gd {
+			if r != dst {
+				reqs = append(reqs, Request{Port: d.LocalPortTo(r, dst), VCMask: mask})
+			}
+			return reqs
+		}
+		if globals := d.GlobalPortsTo(r, gd); len(globals) > 0 {
+			for _, p := range globals {
+				reqs = append(reqs, Request{Port: p, VCMask: mask})
+			}
+			return reqs
+		}
+		// Pre-global local hop: only taken straight out of injection (a
+		// packet already holding a channel at a router without the global
+		// link cannot occur under canonical minimal routing).
+		if inPort < 0 {
+			for _, p := range d.CanonicalMinimalPorts(r, dst) {
+				reqs = append(reqs, Request{Port: p, VCMask: mask})
+			}
+		}
+		return reqs
+	}
+}
+
+// DflyFreeDep is dragonfly minimal routing with unrestricted VC use (the
+// UGAL+SPIN configuration): cyclic, hence needs recovery.
+func DflyFreeDep(d *topology.Dragonfly) DependencyFunc {
+	return MinAdaptiveDep(d)
+}

@@ -1,0 +1,167 @@
+// Package core is the SPIN theory itself (Section III of the paper),
+// separated from any router microarchitecture: a deadlocked dependency
+// ring, the spin operator (simultaneous one-hop movement of every packet
+// in the ring), and the resolution-bound theorem
+//
+//	k = m - 1            for minimal routing
+//	k = m·p + (m - 1)    for non-minimal routing with misroute cap p
+//
+// where m is the ring length. The simulator's distributed implementation
+// (internal/spin) realises this theory; the tests here check the theorem
+// on randomly generated rings, independent of that implementation.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DistanceFunc reports the minimal hop count between two routers of the
+// underlying network (-1 if unreachable).
+type DistanceFunc func(a, b int) int
+
+// RingPacket is a packet trapped in a deadlocked ring.
+type RingPacket struct {
+	// Dst is the packet's destination router.
+	Dst int
+	// MisroutesLeft is how many more non-minimal hops the routing may give
+	// this packet (0 for minimal routing).
+	MisroutesLeft int
+}
+
+// Ring is the abstract deadlocked dependency cycle: routers[i] holds
+// packets[i], which waits for buffer space at routers[(i+1) mod m]. The
+// ring is a genuine deadlock while every packet's requested next hop is
+// its ring successor.
+type Ring struct {
+	routers []int
+	packets []RingPacket
+	dist    DistanceFunc
+	spins   int
+}
+
+// NewRing validates and builds a ring. Every packet must be deliverable
+// and no packet may already be at its destination.
+func NewRing(routers []int, packets []RingPacket, dist DistanceFunc) (*Ring, error) {
+	if len(routers) < 2 {
+		return nil, errors.New("core: a dependency ring needs at least 2 routers")
+	}
+	if len(routers) != len(packets) {
+		return nil, fmt.Errorf("core: %d routers but %d packets", len(routers), len(packets))
+	}
+	for i, p := range packets {
+		if routers[i] == p.Dst {
+			return nil, fmt.Errorf("core: packet %d is already at its destination %d", i, p.Dst)
+		}
+		if dist(routers[i], p.Dst) < 0 {
+			return nil, fmt.Errorf("core: packet %d cannot reach %d from %d", i, p.Dst, routers[i])
+		}
+	}
+	return &Ring{
+		routers: append([]int(nil), routers...),
+		packets: append([]RingPacket(nil), packets...),
+		dist:    dist,
+	}, nil
+}
+
+// Len reports the ring length m.
+func (r *Ring) Len() int { return len(r.routers) }
+
+// Spins reports how many spins have been performed.
+func (r *Ring) Spins() int { return r.spins }
+
+// wantsSuccessor reports whether the packet at position i still requests
+// its ring successor: under minimal routing, iff the successor hop is
+// minimal; under non-minimal routing, also if the packet may still be
+// misrouted.
+func (r *Ring) wantsSuccessor(i int) bool {
+	m := len(r.routers)
+	cur, next := r.routers[i], r.routers[(i+1)%m]
+	p := r.packets[i]
+	if next == p.Dst {
+		// The successor hop delivers the packet: it exits the ring into
+		// the destination's ejection path, which never blocks.
+		return false
+	}
+	if r.dist(next, p.Dst) >= 0 && r.dist(next, p.Dst) == r.dist(cur, p.Dst)-1 {
+		return true
+	}
+	return p.MisroutesLeft > 0
+}
+
+// Deadlocked reports whether every packet still requests its successor —
+// the ring remains a (worst-case) deadlock.
+func (r *Ring) Deadlocked() bool {
+	for i := range r.packets {
+		if !r.wantsSuccessor(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Spin performs one synchronized movement: every packet advances one hop
+// along the ring at the same time. It reports an error when called on a
+// ring that is no longer deadlocked (some packet can exit: the deadlock is
+// already broken).
+//
+// Spin models the worst case of the theorem: a packet that could exit but
+// is misrouted around the ring instead consumes one of its misroute
+// credits.
+func (r *Ring) Spin() error {
+	if !r.Deadlocked() {
+		return errors.New("core: ring is not deadlocked; no spin needed")
+	}
+	m := len(r.routers)
+	// Consume misroute credits for packets whose successor hop is
+	// non-minimal.
+	for i := range r.packets {
+		cur, next := r.routers[i], r.routers[(i+1)%m]
+		p := &r.packets[i]
+		minimal := next != p.Dst && r.dist(next, p.Dst) == r.dist(cur, p.Dst)-1
+		if !minimal {
+			p.MisroutesLeft--
+		}
+	}
+	// Simultaneous one-hop rotation: packet i moves to position i+1.
+	rotated := make([]RingPacket, m)
+	for i := range r.packets {
+		rotated[(i+1)%m] = r.packets[i]
+	}
+	r.packets = rotated
+	r.spins++
+	return nil
+}
+
+// Bound reports the theorem's worst-case spin count for a ring of length
+// m whose packets may each be misrouted at most p more times.
+func Bound(m, p int) int {
+	if p <= 0 {
+		return m - 1
+	}
+	return m*p + m - 1
+}
+
+// Resolve spins until the deadlock is broken, returning the number of
+// spins used. It errs if the theorem bound is exceeded — which the
+// theorem proves impossible for valid rings, so an error indicates a bug
+// (or an invalid ring).
+func (r *Ring) Resolve() (int, error) {
+	maxP := 0
+	for _, p := range r.packets {
+		if p.MisroutesLeft > maxP {
+			maxP = p.MisroutesLeft
+		}
+	}
+	bound := Bound(len(r.routers), maxP)
+	start := r.spins
+	for r.Deadlocked() {
+		if r.spins-start >= bound {
+			return r.spins - start, fmt.Errorf("core: deadlock not resolved within the theorem bound %d", bound)
+		}
+		if err := r.Spin(); err != nil {
+			return r.spins - start, err
+		}
+	}
+	return r.spins - start, nil
+}

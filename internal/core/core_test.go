@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+// rectangleRing returns the routers of a clockwise rectangle perimeter on
+// the mesh: a canonical dependency cycle.
+func rectangleRing(m *topology.Mesh, x1, y1, x2, y2 int) []int {
+	var ring []int
+	for x := x1; x < x2; x++ {
+		ring = append(ring, m.RouterAt(x, y1))
+	}
+	for y := y1; y < y2; y++ {
+		ring = append(ring, m.RouterAt(x2, y))
+	}
+	for x := x2; x > x1; x-- {
+		ring = append(ring, m.RouterAt(x, y2))
+	}
+	for y := y2; y > y1; y-- {
+		ring = append(ring, m.RouterAt(x1, y))
+	}
+	return ring
+}
+
+// aheadPackets gives packet i the destination k positions ahead on the
+// ring, which makes every successor hop minimal for k == 2 on a rectangle.
+func aheadPackets(ring []int, k int, misroutes int) []RingPacket {
+	m := len(ring)
+	ps := make([]RingPacket, m)
+	for i := range ps {
+		ps[i] = RingPacket{Dst: ring[(i+k)%m], MisroutesLeft: misroutes}
+	}
+	return ps
+}
+
+func mustMesh(t *testing.T) *topology.Mesh {
+	t.Helper()
+	m, err := topology.NewMesh(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRectangleRingIsDeadlocked(t *testing.T) {
+	m := mustMesh(t)
+	ring := rectangleRing(m, 1, 1, 4, 3)
+	r, err := NewRing(ring, aheadPackets(ring, 2, 0), m.Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Deadlocked() {
+		t.Fatal("2-ahead rectangle ring should be deadlocked")
+	}
+}
+
+func TestMinimalResolutionWithinBound(t *testing.T) {
+	m := mustMesh(t)
+	ring := rectangleRing(m, 0, 0, 7, 7)
+	r, err := NewRing(ring, aheadPackets(ring, 2, 0), m.Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spins, err := r.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spins < 1 || spins > r.Len()-1 {
+		t.Fatalf("spins = %d, want within [1, %d]", spins, r.Len()-1)
+	}
+	if r.Deadlocked() {
+		t.Fatal("still deadlocked after Resolve")
+	}
+}
+
+func TestSpinOnResolvedRingErrs(t *testing.T) {
+	m := mustMesh(t)
+	ring := rectangleRing(m, 0, 0, 2, 2)
+	// Destination 1 ahead: the first spin delivers, so the ring is not
+	// deadlocked at all.
+	r, err := NewRing(ring, aheadPackets(ring, 1, 0), m.Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Deadlocked() {
+		t.Fatal("1-ahead ring should not count as deadlocked")
+	}
+	if err := r.Spin(); err == nil {
+		t.Fatal("Spin on non-deadlocked ring should err")
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	m := mustMesh(t)
+	if _, err := NewRing([]int{1}, []RingPacket{{Dst: 2}}, m.Distance); err == nil {
+		t.Fatal("length-1 ring accepted")
+	}
+	if _, err := NewRing([]int{1, 2}, []RingPacket{{Dst: 3}}, m.Distance); err == nil {
+		t.Fatal("mismatched packet count accepted")
+	}
+	if _, err := NewRing([]int{1, 2}, []RingPacket{{Dst: 1}, {Dst: 3}}, m.Distance); err == nil {
+		t.Fatal("packet already at destination accepted")
+	}
+}
+
+func TestBound(t *testing.T) {
+	cases := []struct{ m, p, want int }{
+		{8, 0, 7},
+		{8, 1, 15},
+		{4, 2, 11},
+		{2, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Bound(c.m, c.p); got != c.want {
+			t.Fatalf("Bound(%d,%d) = %d, want %d", c.m, c.p, got, c.want)
+		}
+	}
+}
+
+// Property (Theorem, Case I): every 2-ahead rectangle ring on a mesh
+// resolves within m-1 spins under minimal routing.
+func TestTheoremMinimalProperty(t *testing.T) {
+	m := mustMesh(t)
+	f := func(a, b, c, d uint8) bool {
+		x1, y1 := int(a)%7, int(b)%7
+		x2 := x1 + 1 + int(c)%(7-x1)
+		y2 := y1 + 1 + int(d)%(7-y1)
+		ring := rectangleRing(m, x1, y1, x2, y2)
+		r, err := NewRing(ring, aheadPackets(ring, 2, 0), m.Distance)
+		if err != nil {
+			return false
+		}
+		spins, err := r.Resolve()
+		return err == nil && spins <= len(ring)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Theorem, Case II): with per-packet misroute budgets <= p the
+// ring resolves within m*p + m-1 spins.
+func TestTheoremNonMinimalProperty(t *testing.T) {
+	m := mustMesh(t)
+	f := func(a, b uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x2 := 1 + int(a)%7
+		y2 := 1 + int(b)%7
+		if x2 == 0 || y2 == 0 {
+			return true
+		}
+		ring := rectangleRing(m, 0, 0, x2, y2)
+		pkts := aheadPackets(ring, 2, 0)
+		p := 0
+		for i := range pkts {
+			pkts[i].MisroutesLeft = rng.Intn(3)
+			if pkts[i].MisroutesLeft > p {
+				p = pkts[i].MisroutesLeft
+			}
+		}
+		r, err := NewRing(ring, pkts, m.Distance)
+		if err != nil {
+			return false
+		}
+		spins, err := r.Resolve()
+		return err == nil && spins <= Bound(len(ring), p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random destinations further along the ring (any k >= 2) still
+// resolve within the minimal bound whenever the initial state is a
+// deadlock.
+func TestTheoremRandomAheadProperty(t *testing.T) {
+	m := mustMesh(t)
+	f := func(a, b, kRaw uint8) bool {
+		x2 := 2 + int(a)%5
+		y2 := 2 + int(b)%5
+		ring := rectangleRing(m, 0, 0, x2, y2)
+		k := 2 + int(kRaw)%(len(ring)-2)
+		r, err := NewRing(ring, aheadPackets(ring, k, 0), m.Distance)
+		if err != nil {
+			return false
+		}
+		spins, err := r.Resolve()
+		return err == nil && spins <= len(ring)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the theorem holds on tori as well (wraparound rings).
+func TestTheoremTorusRowRing(t *testing.T) {
+	torus, err := topology.NewTorus(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full wraparound row is a cycle in a torus.
+	var ring []int
+	for x := 0; x < 8; x++ {
+		ring = append(ring, torus.RouterAt(x, 3))
+	}
+	// Destination 3 ahead keeps every +x hop minimal on an 8-ary torus
+	// (distance along the ring 3 <= 4).
+	r, err := NewRing(ring, aheadPackets(ring, 3, 0), torus.Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Deadlocked() {
+		t.Fatal("torus row ring should be deadlocked")
+	}
+	spins, err := r.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spins > len(ring)-1 {
+		t.Fatalf("torus ring needed %d spins > bound %d", spins, len(ring)-1)
+	}
+}

@@ -1,0 +1,240 @@
+// Package deflection implements BLESS-style bufferless deflection routing
+// (Moscibroda & Mutlu), the fourth prior deadlock-freedom framework of the
+// paper's Table I. Routers have no packet buffers: every arriving flit
+// must be assigned some output port every cycle; when productive ports run
+// out, flits are deflected. Age-based (oldest-first) priority provides
+// livelock freedom.
+//
+// Deflection networks are modelled separately from the VC simulator: they
+// have a fundamentally different router (no buffers, no VCs, mandatory
+// movement), and the paper uses them only for qualitative comparison.
+package deflection
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Flit is a single-flit packet in the bufferless network (BLESS operates
+// at flit granularity; multi-flit packets are independent flits with
+// reassembly at the NIC, whose cost is one of the scheme's documented
+// drawbacks).
+type Flit struct {
+	ID          uint64
+	Src, Dst    int
+	InjectCycle int64
+	Deflections int
+}
+
+// Network is a bufferless deflection-routed mesh.
+type Network struct {
+	mesh *topology.Mesh
+	rng  *rand.Rand
+	now  int64
+
+	// flits in flight: position router -> flits that arrived this cycle.
+	atRouter [][]*Flit
+	next     [][]*Flit
+
+	queues [][]*Flit // per-terminal source queues
+	nextID uint64
+
+	// Stats.
+	Injected, Ejected int64
+	LatencySum        int64
+	DeflectionSum     int64
+	EjectedMeasured   int64
+	StatsStart        int64
+}
+
+// New builds a deflection network on a mesh.
+func New(mesh *topology.Mesh, seed int64) *Network {
+	n := mesh.NumRouters()
+	return &Network{
+		mesh:     mesh,
+		rng:      rand.New(rand.NewSource(seed)),
+		atRouter: make([][]*Flit, n),
+		next:     make([][]*Flit, n),
+		queues:   make([][]*Flit, n),
+	}
+}
+
+// Now reports the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// InFlight reports flits currently inside the network.
+func (n *Network) InFlight() int {
+	total := 0
+	for _, fs := range n.atRouter {
+		total += len(fs)
+	}
+	return total
+}
+
+// Queued reports flits waiting at source queues.
+func (n *Network) Queued() int {
+	total := 0
+	for _, q := range n.queues {
+		total += len(q)
+	}
+	return total
+}
+
+// Inject queues a flit from src to dst.
+func (n *Network) Inject(src, dst int) {
+	n.nextID++
+	n.queues[src] = append(n.queues[src], &Flit{ID: n.nextID, Src: src, Dst: dst, InjectCycle: -1})
+}
+
+// productivePorts lists directions that reduce distance to dst.
+func (n *Network) productivePorts(r, dst int) []int {
+	return n.mesh.MinimalPorts(r, dst)
+}
+
+// Step advances one cycle: age-order flits at each router, eject one
+// arrived flit, assign every remaining flit a unique output port
+// (productive if possible, otherwise deflected), and inject from the
+// source queue into leftover port slots.
+func (n *Network) Step() {
+	for r := range n.next {
+		n.next[r] = n.next[r][:0]
+	}
+	for r := 0; r < n.mesh.NumRouters(); r++ {
+		flits := n.atRouter[r]
+		// Oldest-first (BLESS age priority): livelock freedom.
+		sort.SliceStable(flits, func(i, j int) bool {
+			if flits[i].InjectCycle != flits[j].InjectCycle {
+				return flits[i].InjectCycle < flits[j].InjectCycle
+			}
+			return flits[i].ID < flits[j].ID
+		})
+		// Eject at most one flit per cycle.
+		keep := flits[:0]
+		ejected := false
+		for _, f := range flits {
+			if !ejected && f.Dst == r {
+				n.eject(f)
+				ejected = true
+				continue
+			}
+			keep = append(keep, f)
+		}
+		flits = keep
+		// Port assignment.
+		used := map[int]bool{}
+		freePorts := n.linkPorts(r)
+		for _, f := range flits {
+			assigned := -1
+			for _, p := range n.productivePorts(r, f.Dst) {
+				if !used[p] {
+					assigned = p
+					break
+				}
+			}
+			if assigned < 0 {
+				for _, p := range freePorts {
+					if !used[p] {
+						assigned = p
+						break
+					}
+				}
+				if assigned >= 0 {
+					f.Deflections++
+					n.DeflectionSum++
+				}
+			}
+			if assigned < 0 {
+				// More flits than ports cannot happen: injection respects
+				// the free-slot rule and each neighbour sends at most one.
+				panic(fmt.Sprintf("deflection: router %d oversubscribed", r))
+			}
+			used[assigned] = true
+			l, _ := n.mesh.OutLink(r, assigned)
+			n.next[l.Dst] = append(n.next[l.Dst], f)
+		}
+		// Injection: allowed while flits-at-router < available ports.
+		for len(n.queues[r]) > 0 {
+			var openPort = -1
+			for _, p := range freePorts {
+				if !used[p] {
+					openPort = p
+					break
+				}
+			}
+			if openPort < 0 {
+				break
+			}
+			f := n.queues[r][0]
+			// Prefer a productive free port for the fresh flit; launching
+			// out a non-productive port counts as a deflection.
+			productive := false
+			for _, p := range n.productivePorts(r, f.Dst) {
+				if !used[p] {
+					openPort = p
+					productive = true
+					break
+				}
+			}
+			if !productive {
+				f.Deflections++
+				n.DeflectionSum++
+			}
+			n.queues[r] = n.queues[r][1:]
+			f.InjectCycle = n.now
+			n.Injected++
+			used[openPort] = true
+			l, _ := n.mesh.OutLink(r, openPort)
+			n.next[l.Dst] = append(n.next[l.Dst], f)
+		}
+	}
+	n.atRouter, n.next = n.next, n.atRouter
+	n.now++
+}
+
+// linkPorts lists the wired link ports of router r.
+func (n *Network) linkPorts(r int) []int {
+	var ports []int
+	for p := n.mesh.LocalPorts(r); p < n.mesh.Radix(r); p++ {
+		if _, ok := n.mesh.OutLink(r, p); ok {
+			ports = append(ports, p)
+		}
+	}
+	return ports
+}
+
+func (n *Network) eject(f *Flit) {
+	n.Ejected++
+	if f.InjectCycle >= n.StatsStart {
+		n.EjectedMeasured++
+		n.LatencySum += n.now - f.InjectCycle
+	}
+}
+
+// Run advances the network by cycles steps.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Drain steps with no new traffic until empty or the budget runs out.
+func (n *Network) Drain(maxCycles int64) bool {
+	for i := int64(0); i < maxCycles; i++ {
+		if n.InFlight() == 0 && n.Queued() == 0 {
+			return true
+		}
+		n.Step()
+	}
+	return n.InFlight() == 0 && n.Queued() == 0
+}
+
+// AvgLatency reports mean flit latency over measured ejections.
+func (n *Network) AvgLatency() float64 {
+	if n.EjectedMeasured == 0 {
+		return 0
+	}
+	return float64(n.LatencySum) / float64(n.EjectedMeasured)
+}

@@ -1,0 +1,187 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (Section VI). Each Fig*/Table* function runs the relevant
+// simulations and returns a structured, printable result; cmd/spinsweep
+// and the repository benchmarks are thin wrappers around this package.
+//
+// Absolute cycle counts default to a fraction of the paper's 100K-cycle
+// runs so a full reproduction finishes in minutes; Options.Cycles restores
+// the paper's scale. Options.Small swaps the 1024-node dragonfly and 8x8
+// mesh for scaled-down instances (useful in CI and benchmarks).
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	spin "repro"
+	"repro/internal/sim"
+	spinimpl "repro/internal/spin"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Cycles per simulation point (default 20000).
+	Cycles int64
+	// Warmup cycles before measurement (default Cycles/10).
+	Warmup int64
+	// Small shrinks topologies: mesh 4x4 and a 256-terminal dragonfly.
+	Small bool
+	// Seed for all runs.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cycles == 0 {
+		o.Cycles = 20000
+	}
+	if o.Warmup == 0 {
+		o.Warmup = o.Cycles / 10
+	}
+	return o
+}
+
+// meshSpec and dflySpec resolve topology specs under the Small knob.
+func (o Options) meshSpec() string {
+	if o.Small {
+		return "mesh:4x4"
+	}
+	return "mesh:8x8"
+}
+
+func (o Options) dflySpec() string {
+	if o.Small {
+		// 256 terminals (power of two for the bit permutations), 64 routers.
+		return "dragonfly:4,4,4,16"
+	}
+	return "dragonfly1024"
+}
+
+// Point is one (x, y) sample.
+type Point struct{ X, Y float64 }
+
+// Series is a labelled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a set of curves with axis labels, printable as aligned text.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// String renders the figure as a table: one x column, one column per
+// series.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", f.Title)
+	fmt.Fprintf(&b, "# y: %s\n", f.YLabel)
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	var xsorted []float64
+	for x := range xs {
+		xsorted = append(xsorted, x)
+	}
+	sort.Float64s(xsorted)
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %20s", s.Label)
+	}
+	b.WriteByte('\n')
+	lookup := func(s Series, x float64) (float64, bool) {
+		for _, p := range s.Points {
+			if p.X == x {
+				return p.Y, true
+			}
+		}
+		return 0, false
+	}
+	for _, x := range xsorted {
+		fmt.Fprintf(&b, "%-12.4g", x)
+		for _, s := range f.Series {
+			if y, ok := lookup(s, x); ok {
+				fmt.Fprintf(&b, " %20.4g", y)
+			} else {
+				fmt.Fprintf(&b, " %20s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// runPoint executes one configuration at one rate and returns the
+// simulation for metric extraction.
+func runPoint(cfg spin.Config, pattern string, rate float64, o Options) (*spin.Simulation, error) {
+	cfg.Traffic = pattern
+	cfg.Rate = rate
+	cfg.Seed = o.Seed
+	cfg.Warmup = o.Warmup
+	s, err := spin.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Run(o.Cycles)
+	return s, nil
+}
+
+// latencyCurve sweeps rates and reports (offered rate, avg latency)
+// points, stopping after latency explodes past satLatency (the curve's
+// vertical asymptote); the last point is still recorded so the knee shows.
+func latencyCurve(cfg spin.Config, pattern string, rates []float64, satLatency float64, o Options) (Series, error) {
+	var s Series
+	for _, rate := range rates {
+		simn, err := runPoint(cfg, pattern, rate, o)
+		if err != nil {
+			return s, err
+		}
+		lat := simn.AvgLatency()
+		if lat == 0 {
+			continue
+		}
+		s.Points = append(s.Points, Point{X: rate, Y: lat})
+		if lat > satLatency {
+			break
+		}
+	}
+	return s, nil
+}
+
+// saturation reports the highest accepted throughput across the sweep —
+// the conventional saturation-throughput readout for open-loop latency
+// curves.
+func saturation(cfg spin.Config, pattern string, rates []float64, o Options) (float64, error) {
+	best := 0.0
+	for _, rate := range rates {
+		simn, err := runPoint(cfg, pattern, rate, o)
+		if err != nil {
+			return 0, err
+		}
+		if tp := simn.Throughput(); tp > best {
+			best = tp
+		}
+	}
+	return best, nil
+}
+
+// defaultRates returns a geometric-ish sweep up to max.
+func defaultRates(max float64) []float64 {
+	fracs := []float64{0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0}
+	out := make([]float64, len(fracs))
+	for i, f := range fracs {
+		out[i] = f * max
+	}
+	return out
+}
+
+// spinScheme builds a SPIN scheme with defaults for extension experiments
+// that construct sim configs directly.
+func spinScheme() sim.Scheme { return spinimpl.New(spinimpl.Config{}) }

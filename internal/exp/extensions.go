@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/bubble"
+	"repro/internal/deflection"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TorusComparison pits the two deadlock-freedom strategies for a torus
+// against each other at equal buffering: dimension-ordered routing under
+// bubble flow control (the classic approach) versus fully-adaptive
+// minimal routing under SPIN. This extends the paper's argument to the
+// torus: SPIN needs no injection restriction and no routing restriction.
+type TorusComparison struct {
+	Rates  []float64
+	Bubble []float64 // avg latency per rate
+	SPIN   []float64
+}
+
+// String renders the comparison.
+func (c *TorusComparison) String() string {
+	var b strings.Builder
+	b.WriteString("# Extension: 4x4 torus — DOR+BubbleFC vs MinAdaptive+SPIN (1 VC, avg latency)\n")
+	fmt.Fprintf(&b, "%-8s %14s %14s\n", "rate", "bubble_fc", "spin")
+	for i, r := range c.Rates {
+		fmt.Fprintf(&b, "%-8.2f %14.1f %14.1f\n", r, c.Bubble[i], c.SPIN[i])
+	}
+	return b.String()
+}
+
+// Torus runs the comparison.
+func Torus(o Options) (*TorusComparison, error) {
+	o = o.withDefaults()
+	res := &TorusComparison{Rates: []float64{0.05, 0.1, 0.2, 0.3}}
+	torus, err := topology.NewTorus(4, 4, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, rate := range res.Rates {
+		lat, err := torusPoint(torus, rate, true, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Bubble = append(res.Bubble, lat)
+		lat, err = torusPoint(torus, rate, false, o)
+		if err != nil {
+			return nil, err
+		}
+		res.SPIN = append(res.SPIN, lat)
+	}
+	return res, nil
+}
+
+func torusPoint(torus *topology.Mesh, rate float64, useBubble bool, o Options) (float64, error) {
+	cfg := sim.Config{
+		Topology:   torus,
+		VCsPerVNet: 1,
+		Seed:       o.Seed,
+		StatsStart: o.Warmup,
+		Traffic:    &traffic.Synthetic{Pattern: traffic.Tornado(torus), Rate: rate, DataFrac: 1},
+	}
+	if useBubble {
+		cfg.Routing = &torusDOR{m: torus}
+		cfg.Scheme = &bubble.RingBubble{Mesh: torus}
+	} else {
+		cfg.Routing = &routing.MinAdaptive{Topo: torus}
+		cfg.Scheme = spinScheme()
+	}
+	n, err := sim.NewNetwork(cfg)
+	if err != nil {
+		return 0, err
+	}
+	n.Run(o.Cycles)
+	return n.Stats().AvgLatency(), nil
+}
+
+// DeflectionComparison contrasts BLESS-style deflection with buffered XY
+// routing on a mesh: deflection's zero-load latency is competitive but
+// its delivered latency degrades with load as misroutes accumulate —
+// Table I's qualitative "high livelock cost / lower saturation" row, made
+// quantitative.
+type DeflectionComparison struct {
+	Rates      []float64
+	Deflection []float64 // avg flit latency
+	Buffered   []float64 // avg packet latency (1-flit packets)
+	AvgDeflect []float64 // deflections per delivered flit
+}
+
+// String renders the comparison.
+func (c *DeflectionComparison) String() string {
+	var b strings.Builder
+	b.WriteString("# Extension: 4x4 mesh — deflection (bufferless) vs buffered XY (1-flit packets)\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %14s\n", "rate", "deflection", "buffered_xy", "deflects/flit")
+	for i, r := range c.Rates {
+		fmt.Fprintf(&b, "%-8.2f %12.1f %12.1f %14.2f\n", r, c.Deflection[i], c.Buffered[i], c.AvgDeflect[i])
+	}
+	return b.String()
+}
+
+// Deflection runs the comparison.
+func Deflection(o Options) (*DeflectionComparison, error) {
+	o = o.withDefaults()
+	res := &DeflectionComparison{Rates: []float64{0.05, 0.15, 0.3, 0.45}}
+	mesh, err := topology.NewMesh(4, 4, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, rate := range res.Rates {
+		// Bufferless run.
+		dn := deflection.New(mesh, o.Seed)
+		dn.StatsStart = o.Warmup
+		rng := rand.New(rand.NewSource(o.Seed))
+		for c := int64(0); c < o.Cycles; c++ {
+			for src := 0; src < 16; src++ {
+				if rng.Float64() < rate {
+					dst := rng.Intn(16)
+					if dst != src {
+						dn.Inject(src, dst)
+					}
+				}
+			}
+			dn.Step()
+		}
+		res.Deflection = append(res.Deflection, dn.AvgLatency())
+		if dn.EjectedMeasured > 0 {
+			res.AvgDeflect = append(res.AvgDeflect, float64(dn.DeflectionSum)/float64(dn.Ejected))
+		} else {
+			res.AvgDeflect = append(res.AvgDeflect, 0)
+		}
+		// Buffered XY with 1-flit packets for apples-to-apples.
+		bn, err := sim.NewNetwork(sim.Config{
+			Topology:   mesh,
+			Routing:    &routing.XY{Mesh: mesh},
+			VCsPerVNet: 1,
+			Seed:       o.Seed,
+			StatsStart: o.Warmup,
+			Traffic:    &traffic.Synthetic{Pattern: traffic.Uniform(16), Rate: rate, DataFrac: 0.0001},
+		})
+		if err != nil {
+			return nil, err
+		}
+		bn.Run(o.Cycles)
+		res.Buffered = append(res.Buffered, bn.Stats().AvgLatency())
+	}
+	return res, nil
+}
+
+// torusDOR is shortest-direction dimension-ordered torus routing (shared
+// with the bubble tests).
+type torusDOR struct {
+	sim.BaseRouting
+	m *topology.Mesh
+}
+
+func (t *torusDOR) Name() string { return "torus_dor" }
+
+// Route implements sim.RoutingAlgorithm.
+func (t *torusDOR) Route(r *sim.Router, _ int, p *sim.Packet, buf []sim.PortRequest) []sim.PortRequest {
+	cx, cy := t.m.Coords(r.ID)
+	dx, dy := t.m.Coords(p.RouteDst())
+	var port int
+	switch {
+	case cx != dx:
+		east := ((dx - cx) + t.m.X) % t.m.X
+		if east <= t.m.X-east {
+			port = topology.MeshPort(topology.East)
+		} else {
+			port = topology.MeshPort(topology.West)
+		}
+	default:
+		north := ((dy - cy) + t.m.Y) % t.m.Y
+		if north <= t.m.Y-north {
+			port = topology.MeshPort(topology.North)
+		} else {
+			port = topology.MeshPort(topology.South)
+		}
+	}
+	return append(buf, sim.PortRequest{Port: port, VCMask: sim.AllVCs})
+}

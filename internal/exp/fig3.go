@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	spin "repro"
+)
+
+// Fig3Result reports, per topology and traffic pattern, the minimum
+// injection rate (flits/node/cycle) at which the network deadlocks at
+// least once within the cycle budget — the paper's demonstration that
+// routing deadlocks are rare events (Fig. 3). A zero entry means no
+// deadlock was observed even at rate 1.0 (the paper sees this for mesh
+// tornado/transpose-like patterns).
+type Fig3Result struct {
+	Cycles  int64
+	Entries []Fig3Entry
+}
+
+// Fig3Entry is one bar of Fig. 3.
+type Fig3Entry struct {
+	Topology string
+	Pattern  string
+	MinRate  float64 // 0 = never deadlocked
+}
+
+// String renders the result.
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Fig. 3: minimum injection rate (flits/node/cycle) causing a deadlock within %d cycles\n", r.Cycles)
+	fmt.Fprintf(&b, "%-14s %-16s %s\n", "topology", "pattern", "min deadlock rate")
+	for _, e := range r.Entries {
+		v := "none"
+		if e.MinRate > 0 {
+			v = fmt.Sprintf("%.3f", e.MinRate)
+		}
+		fmt.Fprintf(&b, "%-14s %-16s %s\n", e.Topology, e.Pattern, v)
+	}
+	return b.String()
+}
+
+// Fig3 searches per pattern for the deadlock onset rate on the mesh
+// (fully-adaptive minimal, 3 VCs, no recovery) and the dragonfly (UGAL
+// with free VC use, 3 VCs, no recovery), using the global wait-for-graph
+// oracle as the deadlock detector. 1-flit packets, as in the paper.
+func Fig3(o Options) (*Fig3Result, error) {
+	o = o.withDefaults()
+	res := &Fig3Result{Cycles: o.Cycles}
+	type setup struct {
+		label, topo, routing string
+		patterns             []string
+	}
+	setups := []setup{
+		{"mesh", o.meshSpec(), "min_adaptive",
+			[]string{"uniform_random", "bit_complement", "bit_reverse", "transpose", "tornado", "shuffle"}},
+		{"dragonfly", o.dflySpec(), "ugal_spin", // free-VC UGAL, scheme disabled below
+			[]string{"uniform_random", "bit_complement", "transpose", "tornado", "neighbor"}},
+	}
+	rates := []float64{0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}
+	for _, su := range setups {
+		for _, pat := range su.patterns {
+			min := 0.0
+			for _, rate := range rates {
+				dl, err := deadlocksAt(su.topo, su.routing, pat, rate, o)
+				if err != nil {
+					return nil, err
+				}
+				if dl {
+					min = rate
+					break
+				}
+			}
+			res.Entries = append(res.Entries, Fig3Entry{Topology: su.label, Pattern: pat, MinRate: min})
+		}
+	}
+	return res, nil
+}
+
+// deadlocksAt runs one point with no recovery scheme and polls the oracle.
+func deadlocksAt(topo, routing, pattern string, rate float64, o Options) (bool, error) {
+	s, err := spin.New(spin.Config{
+		Topology:   topo,
+		Routing:    routing,
+		Traffic:    pattern,
+		Rate:       rate,
+		VCsPerVNet: 3,
+		DataFrac:   0.001, // 1-flit packets as in the paper's Fig. 3
+		Seed:       o.Seed,
+	})
+	if err != nil {
+		return false, err
+	}
+	const pollEvery = 500
+	for done := int64(0); done < o.Cycles; done += pollEvery {
+		s.Run(pollEvery)
+		if s.Deadlocked() {
+			return true, nil
+		}
+	}
+	return false, nil
+}

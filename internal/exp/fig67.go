@@ -1,0 +1,97 @@
+package exp
+
+import spin "repro"
+
+// fig67Config names one curve of a latency-vs-injection plot.
+type fig67Config struct {
+	label  string
+	preset string
+	vcs    int
+}
+
+// Fig6 reproduces the dragonfly latency-vs-injection-rate curves: the
+// commercial UGAL + Dally VC ladder baseline against UGAL with free VC
+// use under SPIN (3 VCs), and minimal 1-VC routing against FAvORS-NMin
+// (both only possible with SPIN).
+func Fig6(o Options) (map[string]*Figure, error) {
+	o = o.withDefaults()
+	configs := []fig67Config{
+		{"UGAL_Dally_3VC", "dfly_ugal_ladder", 3},
+		{"UGAL_SPIN_3VC", "dfly_ugal_spin", 3},
+		{"Min_SPIN_1VC", "dfly_minimal_spin", 1},
+		{"FAvORS_NMin_1VC", "dfly_favors_nmin", 1},
+	}
+	patterns := []string{"uniform_random", "bit_complement", "transpose", "tornado", "neighbor"}
+	return latencyFigures("Fig. 6: dragonfly "+o.dflySpec(), o.dflySpec(), configs, patterns, defaultRates(0.5), 400, o)
+}
+
+// Fig7 reproduces the 8x8 mesh latency-vs-injection-rate curves: the
+// west-first, escape-VC and Static Bubble baselines against minimal
+// adaptive with SPIN (multi-VC), and west-first vs FAvORS-Min at 1 VC.
+func Fig7(o Options) (map[string]*Figure, error) {
+	o = o.withDefaults()
+	configs := []fig67Config{
+		{"WestFirst_3VC", "mesh_westfirst", 3},
+		{"EscapeVC_3VC", "mesh_escape_vc", 3},
+		{"StaticBubble_3VC", "mesh_static_bubble", 3},
+		{"MinAdaptive_SPIN_3VC", "mesh_min_adaptive_spin", 3},
+		{"WestFirst_1VC", "mesh_westfirst", 1},
+		{"FAvORS_Min_SPIN_1VC", "mesh_favors_min", 1},
+	}
+	patterns := []string{"uniform_random", "bit_complement", "bit_reverse", "bit_rotation", "transpose", "tornado"}
+	return latencyFigures("Fig. 7: mesh "+o.meshSpec(), o.meshSpec(), configs, patterns, defaultRates(0.6), 300, o)
+}
+
+// latencyFigures runs the config × pattern sweep, one Figure per pattern.
+func latencyFigures(title, topo string, configs []fig67Config, patterns []string, rates []float64, satLat float64, o Options) (map[string]*Figure, error) {
+	out := make(map[string]*Figure, len(patterns))
+	for _, pat := range patterns {
+		fig := &Figure{
+			Title:  title + " — " + pat,
+			XLabel: "inj_rate",
+			YLabel: "avg packet latency (cycles)",
+		}
+		for _, c := range configs {
+			preset, err := spin.PresetByName(c.preset)
+			if err != nil {
+				return nil, err
+			}
+			cfg := preset.Config
+			cfg.Topology = topo
+			cfg.VCsPerVNet = c.vcs
+			series, err := latencyCurve(cfg, pat, rates, satLat, o)
+			if err != nil {
+				return nil, err
+			}
+			series.Label = c.label
+			fig.Series = append(fig.Series, series)
+		}
+		out[pat] = fig
+	}
+	return out, nil
+}
+
+// SaturationSummary extracts the saturation throughput of each config for
+// one pattern — the quantity behind the paper's "X% higher throughput"
+// claims.
+func SaturationSummary(topo string, configs []string, vcs []int, pattern string, maxRate float64, o Options) (map[string]float64, error) {
+	o = o.withDefaults()
+	out := map[string]float64{}
+	for i, name := range configs {
+		preset, err := spin.PresetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := preset.Config
+		cfg.Topology = topo
+		if i < len(vcs) && vcs[i] > 0 {
+			cfg.VCsPerVNet = vcs[i]
+		}
+		sat, err := saturation(cfg, pattern, defaultRates(maxRate), o)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = sat
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	spin "repro"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// Fig8aResult holds the PARSEC network-EDP comparison: minimal adaptive
+// with 2 VCs under SPIN versus the escape-VC design with 3 VCs,
+// normalised to the escape-VC baseline per benchmark (Fig. 8a).
+type Fig8aResult struct {
+	Entries []Fig8aEntry
+}
+
+// Fig8aEntry is one benchmark bar.
+type Fig8aEntry struct {
+	Benchmark     string
+	NormalizedEDP float64 // SPIN-2VC EDP / EscapeVC-3VC EDP
+}
+
+// GeoMean reports the geometric mean of the normalised EDPs.
+func (r *Fig8aResult) GeoMean() float64 {
+	if len(r.Entries) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, e := range r.Entries {
+		prod *= e.NormalizedEDP
+	}
+	return math.Pow(prod, 1/float64(len(r.Entries)))
+}
+
+// String renders the result.
+func (r *Fig8aResult) String() string {
+	var b strings.Builder
+	b.WriteString("# Fig. 8(a): network EDP, MinAdaptive-2VC-SPIN normalised to EscapeVC-3VC\n")
+	for _, e := range r.Entries {
+		fmt.Fprintf(&b, "%-16s %.3f\n", e.Benchmark, e.NormalizedEDP)
+	}
+	fmt.Fprintf(&b, "%-16s %.3f\n", "geomean", r.GeoMean())
+	return b.String()
+}
+
+// Fig8a runs each PARSEC profile through both configurations and combines
+// activity counters with the power model into network EDP.
+func Fig8a(o Options) (*Fig8aResult, error) {
+	o = o.withDefaults()
+	res := &Fig8aResult{}
+	for _, app := range traffic.PARSEC() {
+		spinEDP, err := appEDP(app, "min_adaptive", "spin", 2, power.SchemeSPIN, o)
+		if err != nil {
+			return nil, err
+		}
+		escEDP, err := appEDP(app, "escape_vc", "", 3, power.SchemeEscapeVC, o)
+		if err != nil {
+			return nil, err
+		}
+		if escEDP == 0 {
+			continue
+		}
+		res.Entries = append(res.Entries, Fig8aEntry{Benchmark: app.Name, NormalizedEDP: spinEDP / escEDP})
+	}
+	return res, nil
+}
+
+// appEDP runs one application profile on one router configuration.
+func appEDP(app traffic.AppProfile, routing, scheme string, vcs int, pk power.SchemeKind, o Options) (float64, error) {
+	cfg := spin.Config{
+		Topology:   o.meshSpec(),
+		Routing:    routing,
+		Scheme:     scheme,
+		VNets:      3,
+		VCsPerVNet: vcs,
+		Seed:       o.Seed,
+		Warmup:     o.Warmup,
+	}
+	s, err := spin.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	topo := s.Topology()
+	// Drive the run from the application trace instead of a synthetic
+	// pattern.
+	s.Network().SetTraffic(&traffic.AppTraffic{Profile: app, Topo: topo})
+	s.Run(o.Cycles)
+	st := s.Stats()
+	rc := power.MeshRouter(3*vcs, pk)
+	rc.NumRouters = topo.NumRouters()
+	energy := power.NetworkEnergy(power.DefaultTech, rc,
+		st.BufferWrites, st.BufferReads, st.XbarTraversals, st.LinkTraversals, st.MeasuredCycles)
+	lat := st.AvgLatency()
+	if lat == 0 {
+		return 0, fmt.Errorf("exp: %s produced no measured traffic", app.Name)
+	}
+	return power.EDP(energy, lat), nil
+}
+
+// Fig8bResult is the link-utilisation breakdown at three load points
+// (Fig. 8b): flits, each SM class, idle.
+type Fig8bResult struct {
+	Rates   []float64
+	Entries []sim.LinkUtilisation
+}
+
+// String renders the result.
+func (r *Fig8bResult) String() string {
+	var b strings.Builder
+	b.WriteString("# Fig. 8(b): link utilisation, mesh 3VC MinAdaptive+SPIN, uniform random\n")
+	fmt.Fprintf(&b, "%-8s %8s %8s %8s %8s %8s %8s\n", "rate", "flit", "probe", "move", "pmove", "kill", "idle")
+	for i, rate := range r.Rates {
+		u := r.Entries[i]
+		fmt.Fprintf(&b, "%-8.2f %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f\n",
+			rate, u.Flit, u.SM[0], u.SM[1], u.SM[2], u.SM[3], u.Idle)
+	}
+	return b.String()
+}
+
+// Fig8b measures link-cycle usage at low/medium/high load.
+func Fig8b(o Options) (*Fig8bResult, error) {
+	o = o.withDefaults()
+	res := &Fig8bResult{Rates: []float64{0.01, 0.2, 0.5}}
+	for _, rate := range res.Rates {
+		s, err := runPoint(spin.Config{
+			Topology:   o.meshSpec(),
+			Routing:    "min_adaptive",
+			Scheme:     "spin",
+			VNets:      3,
+			VCsPerVNet: 3,
+		}, "uniform_random", rate, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Entries = append(res.Entries, s.Network().LinkUtilisation())
+	}
+	return res, nil
+}

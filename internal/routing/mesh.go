@@ -1,0 +1,148 @@
+package routing
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// XY is dimension-ordered mesh routing: correct X first, then Y. Its
+// channel dependency graph is acyclic, so it is deadlock-free with any
+// number of VCs (Dally's theory, fully restricted).
+type XY struct {
+	sim.BaseRouting
+	Mesh *topology.Mesh
+}
+
+// Name implements sim.RoutingAlgorithm.
+func (x *XY) Name() string { return "xy" }
+
+// Route implements sim.RoutingAlgorithm.
+func (x *XY) Route(r *sim.Router, _ int, p *sim.Packet, buf []sim.PortRequest) []sim.PortRequest {
+	port := xyPort(x.Mesh, r.ID, p.RouteDst())
+	return append(buf, sim.PortRequest{Port: port, VCMask: sim.AllVCs})
+}
+
+// XYPort computes the dimension-ordered output port from cur toward dst.
+// It is exported for static CDG analysis (internal/cdg).
+func XYPort(m *topology.Mesh, cur, dst int) int { return xyPort(m, cur, dst) }
+
+// WestFirstPorts appends the west-first-legal minimal output ports from
+// cur toward dst to buf. Exported for static CDG analysis.
+func WestFirstPorts(m *topology.Mesh, cur, dst int, buf []int) []int {
+	return westFirstPorts(m, cur, dst, buf)
+}
+
+// xyPort computes the dimension-ordered output port from cur toward dst.
+func xyPort(m *topology.Mesh, cur, dst int) int {
+	cx, cy := m.Coords(cur)
+	dx, dy := m.Coords(dst)
+	switch {
+	case dx > cx:
+		return topology.MeshPort(topology.East)
+	case dx < cx:
+		return topology.MeshPort(topology.West)
+	case dy > cy:
+		return topology.MeshPort(topology.North)
+	default:
+		return topology.MeshPort(topology.South)
+	}
+}
+
+// WestFirst is the turn-model partially-adaptive mesh routing: a packet
+// whose destination lies to the west must travel west first; all other
+// packets route adaptively among their minimal directions (none of which
+// can ever be west again). The resulting CDG is acyclic.
+type WestFirst struct {
+	sim.BaseRouting
+	Mesh *topology.Mesh
+}
+
+// Name implements sim.RoutingAlgorithm.
+func (w *WestFirst) Name() string { return "westfirst" }
+
+// Route implements sim.RoutingAlgorithm.
+func (w *WestFirst) Route(r *sim.Router, _ int, p *sim.Packet, buf []sim.PortRequest) []sim.PortRequest {
+	ports := westFirstPorts(w.Mesh, r.ID, p.RouteDst(), nil)
+	mustPorts(w.Name(), ports, r.ID, p.RouteDst())
+	port := pickAdaptive(r, ports, p.VNet, sim.AllVCs, p.Length)
+	return append(buf, sim.PortRequest{Port: port, VCMask: sim.AllVCs})
+}
+
+// westFirstPorts appends the west-first-legal minimal ports to buf.
+func westFirstPorts(m *topology.Mesh, cur, dst int, buf []int) []int {
+	cx, cy := m.Coords(cur)
+	dx, dy := m.Coords(dst)
+	if dx < cx {
+		return append(buf, topology.MeshPort(topology.West))
+	}
+	if dx > cx {
+		buf = append(buf, topology.MeshPort(topology.East))
+	}
+	if dy > cy {
+		buf = append(buf, topology.MeshPort(topology.North))
+	}
+	if dy < cy {
+		buf = append(buf, topology.MeshPort(topology.South))
+	}
+	return buf
+}
+
+// MinAdaptive is topology-agnostic fully-adaptive minimal routing with the
+// FAvORS selection function and no VC restriction. It is FAvORS-Min when
+// run with one VC; it has a cyclic CDG and therefore requires SPIN (or
+// another recovery scheme) for deadlock freedom.
+type MinAdaptive struct {
+	sim.BaseRouting
+	Topo topology.Topology
+	// RoutingName lets configurations label the algorithm (e.g.
+	// "favors_min"); empty means "min_adaptive".
+	RoutingName string
+}
+
+// Name implements sim.RoutingAlgorithm.
+func (a *MinAdaptive) Name() string {
+	if a.RoutingName != "" {
+		return a.RoutingName
+	}
+	return "min_adaptive"
+}
+
+// Route implements sim.RoutingAlgorithm.
+func (a *MinAdaptive) Route(r *sim.Router, _ int, p *sim.Packet, buf []sim.PortRequest) []sim.PortRequest {
+	ports := a.Topo.MinimalPorts(r.ID, p.RouteDst())
+	mustPorts(a.Name(), ports, r.ID, p.RouteDst())
+	port := pickAdaptive(r, ports, p.VNet, sim.AllVCs, p.Length)
+	return append(buf, sim.PortRequest{Port: port, VCMask: sim.AllVCs})
+}
+
+// EscapeVC is Duato-theory adaptive routing for meshes: VC 0 of each vnet
+// is the escape channel, routed with dimension order (an acyclic escape
+// sub-network); the remaining VCs route fully adaptively with no turn
+// restriction. A blocked packet always has the escape path available, so
+// the configuration is deadlock-free by Duato's theorem.
+type EscapeVC struct {
+	sim.BaseRouting
+	Mesh *topology.Mesh
+	// VCs is the total VCs per vnet (must be >= 2: one escape + regulars).
+	VCs int
+}
+
+// Name implements sim.RoutingAlgorithm.
+func (e *EscapeVC) Name() string { return "escape_vc" }
+
+// regularMask covers VCs 1..VCs-1; escapeMask covers VC 0.
+func (e *EscapeVC) regularMask() uint32 {
+	return (uint32(1)<<uint(e.VCs) - 1) &^ 1
+}
+
+// Route implements sim.RoutingAlgorithm.
+func (e *EscapeVC) Route(r *sim.Router, _ int, p *sim.Packet, buf []sim.PortRequest) []sim.PortRequest {
+	dst := p.RouteDst()
+	ports := e.Mesh.MinimalPorts(r.ID, dst)
+	mustPorts(e.Name(), ports, r.ID, dst)
+	adaptive := pickAdaptive(r, ports, p.VNet, e.regularMask(), p.Length)
+	buf = append(buf, sim.PortRequest{Port: adaptive, VCMask: e.regularMask()})
+	// Escape request: dimension-ordered port, escape VC only.
+	buf = append(buf, sim.PortRequest{Port: xyPort(e.Mesh, r.ID, dst), VCMask: 1})
+	return buf
+}

@@ -1,0 +1,67 @@
+package sim
+
+// Agent is the per-router deadlock-freedom agent. SPIN, Static Bubble and
+// bubble flow control are implemented as Agents; pure avoidance schemes
+// (turn models, VC ladders) need none and run with a nil agent.
+//
+// The engine calls the hooks at fixed points of each cycle:
+//
+//  1. arriving SMs are delivered via HandleSM (in input-port order),
+//  2. Tick runs (counters, probes, freezes, spin launches),
+//  3. switch allocation consults Frozen VCs, FilterSend and FilterInject.
+type Agent interface {
+	// Tick runs once per cycle after SM delivery and before switch
+	// allocation.
+	Tick()
+	// HandleSM delivers a special message that arrived on inPort this
+	// cycle.
+	HandleSM(sm *SM, inPort int)
+	// PickSM resolves contention among SMs that want the same output port
+	// in the same cycle, returning the winner; the rest are dropped.
+	PickSM(outPort int, candidates []*SM) *SM
+	// FilterSend reports whether the resident packet of vc may take dvc at
+	// outPort this cycle (bubble schemes veto sends that would consume the
+	// last free packet slot of a ring).
+	FilterSend(vc *VC, outPort int, dvc *VC) bool
+	// FilterInject reports whether the NIC may begin injecting p into vc
+	// this cycle.
+	FilterInject(vc *VC, p *Packet) bool
+}
+
+// Scheme builds the per-router Agents of a deadlock-freedom scheme and
+// describes it for tables.
+type Scheme interface {
+	// Name identifies the scheme ("spin", "static_bubble", ...).
+	Name() string
+	// Attach is called once after the network is constructed; the scheme
+	// installs agents with Network.SetAgent and may keep the Network for
+	// global bookkeeping (rotating priorities need the router count).
+	Attach(n *Network)
+}
+
+// BaseAgent is an Agent that does nothing and permits everything. Embed it
+// to implement only the hooks a scheme needs.
+type BaseAgent struct{}
+
+// Tick implements Agent.
+func (BaseAgent) Tick() {}
+
+// HandleSM implements Agent; SMs are ignored.
+func (BaseAgent) HandleSM(*SM, int) {}
+
+// PickSM implements Agent with class priority then first-come order.
+func (BaseAgent) PickSM(_ int, candidates []*SM) *SM {
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.Kind.ClassPriority() > best.Kind.ClassPriority() {
+			best = c
+		}
+	}
+	return best
+}
+
+// FilterSend implements Agent, permitting every send.
+func (BaseAgent) FilterSend(*VC, int, *VC) bool { return true }
+
+// FilterInject implements Agent, permitting every injection.
+func (BaseAgent) FilterInject(*VC, *Packet) bool { return true }

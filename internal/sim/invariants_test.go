@@ -1,0 +1,256 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// checkVCTInvariants walks every VC and asserts the virtual-cut-through
+// contract: occupancy within depth, at most two packets interleaved only
+// as old-tail + new-head (the spin overlap), and reservation consistency.
+func checkVCTInvariants(t *testing.T, n *sim.Network) {
+	t.Helper()
+	for r := 0; r < n.NumRouters(); r++ {
+		rt := n.Router(r)
+		for p := 0; p < rt.Radix(); p++ {
+			for k := 0; k < rt.VCsPerPort(); k++ {
+				v := rt.VC(p, k)
+				if v.Len() > v.Depth() {
+					t.Fatalf("r%d p%d vc%d over depth: %d > %d", r, p, k, v.Len(), v.Depth())
+				}
+				if v.FreeSlots() < 0 {
+					t.Fatalf("r%d p%d vc%d negative free slots", r, p, k)
+				}
+			}
+		}
+	}
+}
+
+func TestVCTInvariantsUnderLoad(t *testing.T) {
+	m, _ := topology.NewMesh(4, 4, 1)
+	pat, _ := traffic.ByName("bit_complement", m)
+	n, err := sim.NewNetwork(sim.Config{
+		Topology:   m,
+		Routing:    &routing.EscapeVC{Mesh: m, VCs: 2},
+		Traffic:    &traffic.Synthetic{Pattern: pat, Rate: 0.5},
+		VCsPerVNet: 2,
+		Seed:       21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		n.Step()
+		if i%50 == 0 {
+			checkVCTInvariants(t, n)
+		}
+	}
+}
+
+func TestFlitConservationContinuously(t *testing.T) {
+	m, _ := topology.NewMesh(4, 4, 1)
+	n, err := sim.NewNetwork(sim.Config{
+		Topology:   m,
+		Routing:    &routing.XY{Mesh: m},
+		Traffic:    &traffic.Synthetic{Pattern: traffic.Uniform(16), Rate: 0.4},
+		VCsPerVNet: 2,
+		Seed:       22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		n.Step()
+		st := n.Stats()
+		if st.EjectedFlits > st.InjectedFlits {
+			t.Fatalf("cycle %d: ejected %d flits > injected %d", i, st.EjectedFlits, st.InjectedFlits)
+		}
+	}
+	if !n.Drain(30000) {
+		t.Fatal("drain failed")
+	}
+	if n.Stats().EjectedFlits != n.Stats().InjectedFlits {
+		t.Fatal("flits not conserved after drain")
+	}
+}
+
+func TestRouterDelayAffectsLatency(t *testing.T) {
+	lat := func(delay int) int64 {
+		m, _ := topology.NewMesh(6, 1, 1)
+		n, err := sim.NewNetwork(sim.Config{
+			Topology:    m,
+			Routing:     &routing.XY{Mesh: m},
+			VCsPerVNet:  1,
+			RouterDelay: delay,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got int64 = -1
+		n.SetEjectHook(func(p *sim.Packet) { got = p.EjectCycle - p.GenCycle })
+		n.InjectPacket(0, sim.PacketSpec{Dst: 5, Length: 1})
+		n.Run(100)
+		return got
+	}
+	l1, l3 := lat(1), lat(3)
+	if l1 < 0 || l3 < 0 {
+		t.Fatal("packet not delivered")
+	}
+	// 5 hops, each costing (link 1 + router delay): delta = 5*(3-1).
+	if l3-l1 != 10 {
+		t.Fatalf("router-delay scaling wrong: delay1=%d delay3=%d", l1, l3)
+	}
+}
+
+func TestHeterogeneousLinkLatencies(t *testing.T) {
+	// A custom 3-router line with a slow middle link.
+	links := []topology.Link{
+		{Src: 0, SrcPort: 1, Dst: 1, DstPort: 2, Latency: 1},
+		{Src: 1, SrcPort: 1, Dst: 2, DstPort: 2, Latency: 5},
+		{Src: 2, SrcPort: 1, Dst: 1, DstPort: 3, Latency: 5},
+		{Src: 1, SrcPort: 4, Dst: 0, DstPort: 2, Latency: 1},
+	}
+	g, err := topology.NewGraph("line3", 3, []int{0, 1, 2}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sim.NewNetwork(sim.Config{
+		Topology:   g,
+		Routing:    &routing.MinAdaptive{Topo: g},
+		VCsPerVNet: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lat int64 = -1
+	n.SetEjectHook(func(p *sim.Packet) { lat = p.EjectCycle - p.GenCycle })
+	n.InjectPacket(0, sim.PacketSpec{Dst: 2, Length: 1})
+	n.Run(100)
+	// Hop 1: 1+1 cycles; hop 2: 5+1 cycles.
+	if lat != 8 {
+		t.Fatalf("latency over heterogeneous links = %d, want 8", lat)
+	}
+}
+
+func TestLinkUtilisationSumsToOne(t *testing.T) {
+	m, _ := topology.NewMesh(4, 4, 1)
+	n, err := sim.NewNetwork(sim.Config{
+		Topology:   m,
+		Routing:    &routing.XY{Mesh: m},
+		Traffic:    &traffic.Synthetic{Pattern: traffic.Uniform(16), Rate: 0.3},
+		VCsPerVNet: 1,
+		Seed:       23,
+		StatsStart: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(5000)
+	u := n.LinkUtilisation()
+	total := u.Flit + u.SMAll + u.Idle
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("utilisation fractions sum to %f", total)
+	}
+	if u.Flit <= 0 {
+		t.Fatal("no flit utilisation under load")
+	}
+	if u.SMAll != 0 {
+		t.Fatal("SM utilisation without a recovery scheme")
+	}
+}
+
+func TestNICInjectionSerialisesPerTerminal(t *testing.T) {
+	m, _ := topology.NewMesh(2, 1, 1)
+	n, _ := sim.NewNetwork(sim.Config{Topology: m, Routing: &routing.XY{Mesh: m}, VCsPerVNet: 1})
+	order := []uint64{}
+	n.SetEjectHook(func(p *sim.Packet) { order = append(order, p.ID) })
+	a := n.InjectPacket(0, sim.PacketSpec{Dst: 1, Length: 5})
+	b := n.InjectPacket(0, sim.PacketSpec{Dst: 1, Length: 5})
+	n.Run(200)
+	if len(order) != 2 || order[0] != a.ID || order[1] != b.ID {
+		t.Fatalf("per-terminal FIFO violated: %v (a=%d b=%d)", order, a.ID, b.ID)
+	}
+}
+
+func TestStatsWarmupExcludesEarlyPackets(t *testing.T) {
+	m, _ := topology.NewMesh(4, 1, 1)
+	n, _ := sim.NewNetwork(sim.Config{
+		Topology:   m,
+		Routing:    &routing.XY{Mesh: m},
+		VCsPerVNet: 1,
+		StatsStart: 1000,
+	})
+	n.InjectPacket(0, sim.PacketSpec{Dst: 3, Length: 1})
+	n.Run(100)
+	if n.Stats().EjectedMeasured != 0 {
+		t.Fatal("warmup packet measured")
+	}
+	if n.Stats().Ejected != 1 {
+		t.Fatal("warmup packet not delivered")
+	}
+}
+
+// Property: for random loads/seeds on a deadlock-free config, every
+// injected packet is delivered exactly once with matching counts.
+func TestDeliveryExactlyOnceProperty(t *testing.T) {
+	f := func(seedRaw uint16, rateRaw uint8) bool {
+		seed := int64(seedRaw) + 1
+		rate := 0.05 + float64(rateRaw%40)/100
+		m, _ := topology.NewMesh(3, 3, 1)
+		n, err := sim.NewNetwork(sim.Config{
+			Topology:   m,
+			Routing:    &routing.XY{Mesh: m},
+			Traffic:    &traffic.Synthetic{Pattern: traffic.Uniform(9), Rate: rate},
+			VCsPerVNet: 1,
+			Seed:       seed,
+		})
+		if err != nil {
+			return false
+		}
+		seen := map[uint64]int{}
+		n.SetEjectHook(func(p *sim.Packet) { seen[p.ID]++ })
+		n.Run(800)
+		if !n.Drain(20000) {
+			return false
+		}
+		if n.Stats().Ejected != n.Stats().Injected {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetTrafficSwapsGenerator(t *testing.T) {
+	m, _ := topology.NewMesh(4, 1, 1)
+	n, _ := sim.NewNetwork(sim.Config{
+		Topology:   m,
+		Routing:    &routing.XY{Mesh: m},
+		Traffic:    &traffic.Synthetic{Pattern: traffic.Neighbor(4), Rate: 0.2},
+		VCsPerVNet: 1,
+		Seed:       9,
+	})
+	n.Run(500)
+	before := n.Stats().Injected
+	if before == 0 {
+		t.Fatal("no injection")
+	}
+	n.SetTraffic(nil)
+	n.Run(500)
+	if n.Stats().Injected != before {
+		t.Fatal("injection continued after SetTraffic(nil)")
+	}
+}

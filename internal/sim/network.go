@@ -1,0 +1,374 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// TrafficGen produces packets. Generate is called once per terminal per
+// cycle and emits zero or more packet specs to inject at that terminal.
+type TrafficGen interface {
+	Name() string
+	Generate(cycle int64, src int, rng *rand.Rand, emit func(PacketSpec))
+}
+
+// Config assembles a simulation.
+type Config struct {
+	Topology topology.Topology
+	Routing  RoutingAlgorithm
+	Scheme   Scheme     // nil: no deadlock handling beyond the routing itself
+	Traffic  TrafficGen // nil: no open-loop traffic (tests drive manually)
+
+	VNets       int // virtual networks (message classes); default 1
+	VCsPerVNet  int // VCs per vnet per port; default 1
+	VCDepth     int // flits per VC; default 5
+	MaxPktLen   int // largest packet the traffic emits; default 5
+	RouterDelay int // per-hop router pipeline cycles; default 1 (1-cycle router)
+
+	Seed       int64
+	StatsStart int64 // cycle measurement begins (warmup length)
+}
+
+func (c *Config) setDefaults() error {
+	if c.Topology == nil {
+		return fmt.Errorf("sim: config needs a topology")
+	}
+	if c.Routing == nil {
+		return fmt.Errorf("sim: config needs a routing algorithm")
+	}
+	if c.VNets == 0 {
+		c.VNets = 1
+	}
+	if c.VCsPerVNet == 0 {
+		c.VCsPerVNet = 1
+	}
+	if c.VCDepth == 0 {
+		c.VCDepth = 5
+	}
+	if c.MaxPktLen == 0 {
+		c.MaxPktLen = 5
+	}
+	if c.RouterDelay == 0 {
+		c.RouterDelay = 1
+	}
+	if c.VCsPerVNet > 32 {
+		return fmt.Errorf("sim: at most 32 VCs per vnet, got %d", c.VCsPerVNet)
+	}
+	if c.VCDepth < c.MaxPktLen {
+		return fmt.Errorf("sim: VCDepth %d < MaxPktLen %d breaks virtual cut-through (and the spin space argument)", c.VCDepth, c.MaxPktLen)
+	}
+	return nil
+}
+
+// Network is a running simulation instance.
+type Network struct {
+	cfg     Config
+	routers []*Router
+	links   []*link
+	nics    []*NIC
+	rng     *rand.Rand
+	now     int64
+	pktID   uint64
+	stats   Stats
+
+	inNetwork int // packets injected (head) but not fully ejected
+
+	flitBuf []flitTransit
+	smBuf   []smTransit
+
+	// ejectHook, when set, observes every ejected packet (tests, traces).
+	ejectHook func(*Packet)
+}
+
+// NewNetwork builds a network from cfg, attaching the scheme's agents.
+func NewNetwork(cfg Config) (*Network, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	topo := cfg.Topology
+	n.routers = make([]*Router, topo.NumRouters())
+	for i := range n.routers {
+		n.routers[i] = newRouter(n, i)
+	}
+	for i, tl := range topo.Links() {
+		l := &link{topo: tl, index: i, dst: n.routers[tl.Dst]}
+		n.links = append(n.links, l)
+		n.routers[tl.Src].outLink[tl.SrcPort] = l
+	}
+	n.nics = make([]*NIC, topo.NumTerminals())
+	for t := range n.nics {
+		r := n.routers[topo.TerminalRouter(t)]
+		n.nics[t] = &NIC{term: t, router: r, port: topo.TerminalPort(t)}
+	}
+	if cfg.Scheme != nil {
+		cfg.Scheme.Attach(n)
+	}
+	return n, nil
+}
+
+// Config returns the simulation configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Topology returns the simulated topology.
+func (n *Network) Topology() topology.Topology { return n.cfg.Topology }
+
+// Router returns router id.
+func (n *Network) Router(id int) *Router { return n.routers[id] }
+
+// NumRouters reports the router count.
+func (n *Network) NumRouters() int { return len(n.routers) }
+
+// NIC returns terminal t's interface.
+func (n *Network) NIC(t int) *NIC { return n.nics[t] }
+
+// Now reports the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Stats returns the accumulated statistics.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// RNG returns the simulation's random source.
+func (n *Network) RNG() *rand.Rand { return n.rng }
+
+// InFlight reports packets currently inside the network (injection started,
+// ejection not finished).
+func (n *Network) InFlight() int { return n.inNetwork }
+
+// QueuedPackets reports packets waiting in NIC source queues.
+func (n *Network) QueuedPackets() int {
+	total := 0
+	for _, nic := range n.nics {
+		total += nic.QueueLen()
+	}
+	return total
+}
+
+// SetAgent installs a deadlock agent on a router (called by schemes).
+func (n *Network) SetAgent(router int, a Agent) { n.routers[router].agent = a }
+
+// SetEjectHook registers an observer for every ejected packet.
+func (n *Network) SetEjectHook(f func(*Packet)) { n.ejectHook = f }
+
+func (n *Network) measuring() bool { return n.now >= n.cfg.StatsStart }
+
+// InjectPacket creates a packet and enqueues it at src's NIC, running the
+// routing algorithm's source hook. Tests and traffic replay use it
+// directly; open-loop traffic goes through Config.Traffic.
+func (n *Network) InjectPacket(src int, spec PacketSpec) *Packet {
+	if spec.Length <= 0 || spec.Length > n.cfg.MaxPktLen {
+		panic(fmt.Sprintf("sim: packet length %d outside (0,%d]", spec.Length, n.cfg.MaxPktLen))
+	}
+	if spec.VNet < 0 || spec.VNet >= n.cfg.VNets {
+		panic(fmt.Sprintf("sim: vnet %d out of range", spec.VNet))
+	}
+	n.pktID++
+	p := &Packet{
+		ID:           n.pktID,
+		Src:          src,
+		Dst:          spec.Dst,
+		SrcRouter:    n.cfg.Topology.TerminalRouter(src),
+		DstRouter:    n.cfg.Topology.TerminalRouter(spec.Dst),
+		VNet:         spec.VNet,
+		Length:       spec.Length,
+		GenCycle:     n.now,
+		Intermediate: -1,
+	}
+	p.Checksum = checksumFor(p.ID, p.Src, p.Dst, p.Length)
+	n.cfg.Routing.AtSource(n.routers[p.SrcRouter], p)
+	n.nics[src].push(p)
+	return p
+}
+
+// Step advances the simulation by one cycle.
+func (n *Network) Step() {
+	// 1. Deliver link arrivals.
+	n.deliverArrivals()
+	// 2. Traffic generation and NIC injection.
+	if n.cfg.Traffic != nil {
+		for t := range n.nics {
+			n.cfg.Traffic.Generate(n.now, t, n.rng, func(spec PacketSpec) {
+				n.InjectPacket(t, spec)
+			})
+		}
+	}
+	for t := range n.nics {
+		n.nics[t].injectStep(n)
+	}
+	// 3. Route computation for freshly arrived heads.
+	for _, r := range n.routers {
+		r.routeStage()
+	}
+	// 4. Deadlock agents.
+	for _, r := range n.routers {
+		if r.agent != nil {
+			r.agent.Tick()
+		}
+	}
+	// 5. Spin claims, then SM arbitration onto links.
+	for _, r := range n.routers {
+		r.claimSpinPorts()
+	}
+	for _, r := range n.routers {
+		r.resolveSMs()
+	}
+	// 6. Switch allocation and flit transmission.
+	for _, r := range n.routers {
+		for p := range r.inUsed {
+			r.inUsed[p] = false
+			r.outUsed[p] = false
+		}
+	}
+	for _, r := range n.routers {
+		r.spinStage()
+	}
+	for _, r := range n.routers {
+		r.saStage()
+	}
+	if n.measuring() {
+		n.stats.MeasuredCycles++
+	}
+	n.stats.Cycles++
+	n.now++
+}
+
+// deliverArrivals moves flits and SMs that complete link traversal this
+// cycle into input VCs and agent inboxes.
+func (n *Network) deliverArrivals() {
+	for _, l := range n.links {
+		n.flitBuf = n.flitBuf[:0]
+		n.smBuf = n.smBuf[:0]
+		n.flitBuf, n.smBuf = l.takeArrivals(n.now, n.flitBuf, n.smBuf)
+		for _, t := range n.flitBuf {
+			t.dst.inFlight--
+			t.dst.enqueue(t.flit, n.now)
+			if n.measuring() {
+				n.stats.BufferWrites++
+			}
+			if t.flit.IsHead() {
+				pkt := t.flit.Pkt
+				pkt.Hops++
+				// Misroute accounting: a hop that fails to reduce the
+				// distance to the phase-local destination.
+				cur, prev := l.dst.ID, l.topo.Src
+				topo := n.cfg.Topology
+				if topo.Distance(cur, pkt.RouteDst()) >= topo.Distance(prev, pkt.RouteDst()) {
+					pkt.Misroutes++
+				}
+				if n.isGlobalHop(l) {
+					pkt.GlobalHops++
+				}
+			}
+		}
+		if len(n.smBuf) > 1 {
+			sort.SliceStable(n.smBuf, func(i, j int) bool {
+				return n.smBuf[i].sm.Kind.ClassPriority() > n.smBuf[j].sm.Kind.ClassPriority()
+			})
+		}
+		for _, t := range n.smBuf {
+			if a := l.dst.agent; a != nil {
+				a.HandleSM(t.sm, l.topo.DstPort)
+			}
+		}
+	}
+}
+
+// isGlobalHop reports whether a link is a dragonfly global channel.
+func (n *Network) isGlobalHop(l *link) bool {
+	d, ok := n.cfg.Topology.(*topology.Dragonfly)
+	if !ok {
+		return false
+	}
+	return d.Group(l.topo.Src) != d.Group(l.topo.Dst)
+}
+
+// ejected accounts a flit leaving the network; on tails it finalises the
+// packet and verifies end-to-end integrity.
+func (n *Network) ejected(f Flit) {
+	n.stats.EjectedFlits++
+	if n.measuring() {
+		n.stats.EjectedFlitsMeas++
+	}
+	if !f.IsTail() {
+		return
+	}
+	p := f.Pkt
+	if p.Checksum != checksumFor(p.ID, p.Src, p.Dst, p.Length) {
+		panic(fmt.Sprintf("sim: payload corruption in %v", p))
+	}
+	if dst := n.cfg.Topology.TerminalRouter(p.Dst); dst != p.DstRouter {
+		panic(fmt.Sprintf("sim: %v ejected at wrong router", p))
+	}
+	p.EjectCycle = n.now
+	n.stats.Ejected++
+	n.inNetwork--
+	if p.GenCycle >= n.cfg.StatsStart {
+		n.stats.EjectedMeasured++
+		lat := p.EjectCycle - p.GenCycle
+		n.stats.LatencySum += lat
+		n.stats.NetLatencySum += p.EjectCycle - p.InjectCycle
+		n.stats.HopSum += int64(p.Hops)
+		n.stats.MisrouteSum += int64(p.Misroutes)
+		if lat > n.stats.MaxLatency {
+			n.stats.MaxLatency = lat
+		}
+	}
+	if n.ejectHook != nil {
+		n.ejectHook(p)
+	}
+}
+
+// Run advances the simulation by cycles steps.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Drain disables traffic and steps until the network is empty (all queued
+// and in-flight packets ejected) or maxCycles elapse. It reports whether
+// the network fully drained — the strongest liveness check available.
+func (n *Network) Drain(maxCycles int64) bool {
+	saved := n.cfg.Traffic
+	n.cfg.Traffic = nil
+	defer func() { n.cfg.Traffic = saved }()
+	for i := int64(0); i < maxCycles; i++ {
+		if n.inNetwork == 0 && n.QueuedPackets() == 0 {
+			return true
+		}
+		n.Step()
+	}
+	return n.inNetwork == 0 && n.QueuedPackets() == 0
+}
+
+// LinkUtilisation aggregates the per-link busy accounting over the
+// measurement window.
+func (n *Network) LinkUtilisation() LinkUtilisation {
+	var u LinkUtilisation
+	if n.stats.MeasuredCycles == 0 || len(n.links) == 0 {
+		return u
+	}
+	total := float64(n.stats.MeasuredCycles) * float64(len(n.links))
+	var flit float64
+	var sm [4]float64
+	for _, l := range n.links {
+		flit += float64(l.flitCycles)
+		for k := 0; k < int(numSMKinds); k++ {
+			sm[k] += float64(l.smCycles[k])
+		}
+	}
+	u.Flit = flit / total
+	for k := range sm {
+		u.SM[k] = sm[k] / total
+		u.SMAll += u.SM[k]
+	}
+	u.Idle = 1 - u.Flit - u.SMAll
+	return u
+}
+
+// SetTraffic replaces the open-loop traffic generator (nil disables
+// generation; queued and in-flight packets are unaffected).
+func (n *Network) SetTraffic(g TrafficGen) { n.cfg.Traffic = g }

@@ -1,0 +1,69 @@
+package sim
+
+// NIC is a network interface: a per-terminal source queue injecting flits
+// into the attached router's terminal-port VCs (one flit per cycle) and a
+// stall-free sink for ejected flits.
+type NIC struct {
+	term   int
+	router *Router
+	port   int // terminal input port at the router
+
+	queue  []*Packet
+	cur    *Packet
+	curVC  *VC
+	curSeq int
+}
+
+// QueueLen reports the number of packets waiting at the source, including
+// the one mid-injection.
+func (n *NIC) QueueLen() int { return len(n.queue) }
+
+// push enqueues a freshly generated packet.
+func (n *NIC) push(p *Packet) { n.queue = append(n.queue, p) }
+
+// injectStep moves at most one flit into the router this cycle.
+func (n *NIC) injectStep(net *Network) {
+	now := net.now
+	if n.cur == nil {
+		if len(n.queue) == 0 {
+			return
+		}
+		p := n.queue[0]
+		v := n.pickVC(net, p)
+		if v == nil {
+			return
+		}
+		n.queue = n.queue[1:]
+		n.cur, n.curVC, n.curSeq = p, v, 0
+		p.InjectCycle = now
+		net.inNetwork++
+		v.reserve(p, now, false)
+	}
+	n.curVC.enqueue(Flit{Pkt: n.cur, Seq: n.curSeq}, now)
+	if net.measuring() {
+		net.stats.BufferWrites++
+	}
+	net.stats.InjectedFlits++
+	n.curSeq++
+	if n.curSeq == n.cur.Length {
+		net.stats.Injected++
+		n.cur, n.curVC, n.curSeq = nil, nil, 0
+	}
+}
+
+// pickVC selects an input VC of the packet's vnet at the terminal port,
+// honouring virtual cut-through and the scheme's injection filter.
+func (n *NIC) pickVC(net *Network, p *Packet) *VC {
+	base := p.VNet * net.cfg.VCsPerVNet
+	for k := 0; k < net.cfg.VCsPerVNet; k++ {
+		v := n.router.in[n.port][base+k]
+		if !v.CanAccept(p.Length) {
+			continue
+		}
+		if n.router.agent != nil && !n.router.agent.FilterInject(v, p) {
+			continue
+		}
+		return v
+	}
+	return nil
+}

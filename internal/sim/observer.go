@@ -1,0 +1,118 @@
+package sim
+
+// The deadlock oracle gives tests and the Fig. 3 experiment a global view
+// no distributed scheme has: it decides, from the instantaneous buffer
+// state, whether some set of packets can never make progress.
+//
+// A VC is *live* when its resident packet can eventually move: it is
+// ejecting, some admissible downstream VC can accept it now, or some
+// admissible downstream VC is itself live (its resident will eventually
+// drain and release buffer space — arbitration is fair, so eventual space
+// implies eventual progress under virtual cut-through). Non-empty, routed,
+// non-live VCs are deadlocked.
+
+// DeadlockedVC identifies a VC found in a deadlock cycle.
+type DeadlockedVC struct {
+	Router, Port, Index int
+}
+
+// FindDeadlock computes the set of deadlocked VCs via a liveness fixpoint.
+// An empty result means no routing deadlock exists at this instant.
+// Frozen/spinning VCs in mid-recovery count as live (recovery will move
+// them); tests bound how long recovery may take separately.
+func (n *Network) FindDeadlock() []DeadlockedVC {
+	type node struct {
+		vc   *VC
+		deps []*VC // admissible downstream VCs
+	}
+	var nodes []node
+	idx := map[*VC]int{}
+	for _, r := range n.routers {
+		for p := 0; p < r.radix; p++ {
+			for _, v := range r.in[p] {
+				if len(v.buf) == 0 || !v.routed {
+					continue
+				}
+				nodes = append(nodes, node{vc: v})
+				idx[v] = len(nodes) - 1
+			}
+		}
+	}
+	live := make([]bool, len(nodes))
+	var vcBuf []*VC
+	for i := range nodes {
+		v := nodes[i].vc
+		r := v.router
+		switch {
+		case v.frozen || v.spinning:
+			live[i] = true
+		case v.WaitingToEject() || (v.target == nil && v.outPort >= 0 && v.outPort < r.localPorts):
+			live[i] = true
+		case v.target != nil:
+			if v.target.FreeSlots() > 0 {
+				live[i] = true
+			} else {
+				nodes[i].deps = append(nodes[i].deps, v.target)
+			}
+		default:
+			pkt := v.FrontPacket()
+			for _, req := range v.reqs {
+				if req.Port < r.localPorts {
+					live[i] = true
+					break
+				}
+				vcBuf = r.DownstreamVCs(req.Port, pkt.VNet, req.VCMask, vcBuf[:0])
+				for _, dvc := range vcBuf {
+					if dvc.CanAccept(pkt.Length) {
+						live[i] = true
+						break
+					}
+					nodes[i].deps = append(nodes[i].deps, dvc)
+				}
+				if live[i] {
+					break
+				}
+			}
+		}
+	}
+	// Propagate liveness backwards to a fixpoint: v is live if any
+	// dependency is live (space will eventually appear there).
+	for changed := true; changed; {
+		changed = false
+		for i := range nodes {
+			if live[i] {
+				continue
+			}
+			for _, dvc := range nodes[i].deps {
+				j, ok := idx[dvc]
+				if !ok {
+					// Dependency VC holds no routed resident: it is
+					// draining space or idle-but-reserved; treat a
+					// reserved-but-empty VC as live (its owner is moving).
+					if dvc.resvOwner == nil || len(dvc.buf) == 0 {
+						live[i] = true
+						break
+					}
+					continue
+				}
+				if live[j] {
+					live[i] = true
+					break
+				}
+			}
+			if live[i] {
+				changed = true
+			}
+		}
+	}
+	var out []DeadlockedVC
+	for i, nd := range nodes {
+		if !live[i] {
+			out = append(out, DeadlockedVC{Router: nd.vc.router.ID, Port: nd.vc.port, Index: nd.vc.index})
+		}
+	}
+	return out
+}
+
+// Deadlocked reports whether any deadlocked VC exists right now.
+func (n *Network) Deadlocked() bool { return len(n.FindDeadlock()) > 0 }

@@ -1,0 +1,422 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Router is one network router: a set of input ports each holding
+// VNets×VCsPerVNet virtual channels, an output crossbar with one flit per
+// input port and one per output port per cycle, and an optional
+// deadlock-freedom agent.
+type Router struct {
+	net        *Network
+	ID         int
+	radix      int
+	localPorts int
+
+	in      [][]*VC // [port][vcIdx]
+	outLink []*link // per output port; nil for terminal/unwired ports
+
+	agent Agent
+
+	// Per-cycle scratch state.
+	smSends     [][]*SM // per output port: SMs competing for the link
+	smBusy      []bool  // output port carries an SM this cycle
+	spinClaimed []bool  // output port claimed by a spinning VC this cycle
+	inUsed      []bool
+	outUsed     []bool
+	rrPtr       int
+
+	routeBuf []PortRequest
+}
+
+func newRouter(n *Network, id int) *Router {
+	topo := n.cfg.Topology
+	radix := topo.Radix(id)
+	r := &Router{
+		net:         n,
+		ID:          id,
+		radix:       radix,
+		localPorts:  topo.LocalPorts(id),
+		in:          make([][]*VC, radix),
+		outLink:     make([]*link, radix),
+		smSends:     make([][]*SM, radix),
+		smBusy:      make([]bool, radix),
+		spinClaimed: make([]bool, radix),
+		inUsed:      make([]bool, radix),
+		outUsed:     make([]bool, radix),
+	}
+	vcs := n.cfg.VNets * n.cfg.VCsPerVNet
+	for p := 0; p < radix; p++ {
+		r.in[p] = make([]*VC, vcs)
+		for k := 0; k < vcs; k++ {
+			r.in[p][k] = &VC{router: r, port: p, index: k, depth: n.cfg.VCDepth, outPort: -1}
+		}
+	}
+	return r
+}
+
+// Net returns the owning network.
+func (r *Router) Net() *Network { return r.net }
+
+// Radix reports the number of ports.
+func (r *Router) Radix() int { return r.radix }
+
+// LocalPorts reports the number of terminal ports.
+func (r *Router) LocalPorts() int { return r.localPorts }
+
+// Agent returns the router's deadlock agent (nil without a scheme).
+func (r *Router) Agent() Agent { return r.agent }
+
+// VC returns the virtual channel at (port, idx).
+func (r *Router) VC(port, idx int) *VC { return r.in[port][idx] }
+
+// VCsPerPort reports how many VCs each input port has.
+func (r *Router) VCsPerPort() int { return r.net.cfg.VNets * r.net.cfg.VCsPerVNet }
+
+// HasOutLink reports whether port p drives an inter-router link.
+func (r *Router) HasOutLink(p int) bool { return p >= 0 && p < r.radix && r.outLink[p] != nil }
+
+// LinkLatency reports the traversal latency of the link at output port p
+// (0 if p has no link).
+func (r *Router) LinkLatency(p int) int {
+	if !r.HasOutLink(p) {
+		return 0
+	}
+	return r.outLink[p].topo.Latency
+}
+
+// Downstream resolves the router and input port at the far end of output
+// port p.
+func (r *Router) Downstream(p int) (*Router, int, bool) {
+	if !r.HasOutLink(p) {
+		return nil, 0, false
+	}
+	l := r.outLink[p]
+	return l.dst, l.topo.DstPort, true
+}
+
+// RNG exposes the simulation's deterministic random source for adaptive
+// tie-breaking.
+func (r *Router) RNG() *rand.Rand { return r.net.rng }
+
+// Now reports the current cycle.
+func (r *Router) Now() int64 { return r.net.now }
+
+// DownstreamVCs returns the VCs of the packet-admissible set at output
+// port p for vnet, i.e. the downstream input-port VCs selected by mask.
+// It appends to buf. Returns nil when p has no link.
+func (r *Router) DownstreamVCs(p, vnet int, mask uint32, buf []*VC) []*VC {
+	d, inPort, ok := r.Downstream(p)
+	if !ok {
+		return buf
+	}
+	base := vnet * r.net.cfg.VCsPerVNet
+	for k := 0; k < r.net.cfg.VCsPerVNet; k++ {
+		if mask&(1<<uint(k)) == 0 {
+			continue
+		}
+		buf = append(buf, d.in[inPort][base+k])
+	}
+	return buf
+}
+
+// FreeVCAt reports whether some downstream VC at output port p (vnet,
+// mask) can accept a packet of the given length right now. Adaptive
+// algorithms use it as their primary congestion signal.
+func (r *Router) FreeVCAt(p, vnet int, mask uint32, length int) bool {
+	d, inPort, ok := r.Downstream(p)
+	if !ok {
+		return false
+	}
+	base := vnet * r.net.cfg.VCsPerVNet
+	for k := 0; k < r.net.cfg.VCsPerVNet; k++ {
+		if mask&(1<<uint(k)) == 0 {
+			continue
+		}
+		if d.in[inPort][base+k].CanAccept(length) {
+			return true
+		}
+	}
+	return false
+}
+
+// MinActiveTime reports the smallest ActiveTime among the downstream VCs
+// at output port p (vnet, mask) — 0 if any is idle. This is the FAvORS
+// port-contention proxy, obtainable in hardware from VC credits.
+func (r *Router) MinActiveTime(p, vnet int, mask uint32) int64 {
+	d, inPort, ok := r.Downstream(p)
+	if !ok {
+		return 1 << 30
+	}
+	now := r.net.now
+	base := vnet * r.net.cfg.VCsPerVNet
+	best := int64(1) << 30
+	for k := 0; k < r.net.cfg.VCsPerVNet; k++ {
+		if mask&(1<<uint(k)) == 0 {
+			continue
+		}
+		if t := d.in[inPort][base+k].ActiveTime(now); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// SendSM offers a special message for transmission on output port p this
+// cycle. Contention among SMs on the same port is resolved at the end of
+// the agent phase via Agent.PickSM; losers are dropped (the SM layer is
+// bufferless).
+func (r *Router) SendSM(p int, sm *SM) {
+	if !r.HasOutLink(p) {
+		return
+	}
+	r.smSends[p] = append(r.smSends[p], sm)
+}
+
+// FreezeVC marks the VC as frozen: it no longer participates in normal
+// switch allocation and its resident packet will only move during a spin.
+func (r *Router) FreezeVC(v *VC) { v.frozen = true }
+
+// UnfreezeVC lifts a freeze (kill_move processing).
+func (r *Router) UnfreezeVC(v *VC) { v.frozen = false }
+
+// StartSpin begins the synchronized movement of v's frozen resident
+// packet: from this cycle on the engine force-transmits one flit per cycle
+// out of outPort into target, bypassing buffer-space checks. The space the
+// flits land in is vacated by target's own simultaneous spin; the VC
+// enqueue asserts the invariant.
+func (r *Router) StartSpin(v *VC, outPort int, target *VC) {
+	if v.FrontPacket() == nil {
+		return
+	}
+	v.spinning = true
+	v.frozen = false
+	v.outPort = outPort
+	v.target = target
+	target.reserve(v.FrontPacket(), r.net.now, true)
+}
+
+// routeStage computes port requests for every VC whose resident head flit
+// has reached the front and is not yet routed.
+func (r *Router) routeStage() {
+	for p := 0; p < r.radix; p++ {
+		for _, v := range r.in[p] {
+			if v.routed || len(v.buf) == 0 || !v.buf[0].IsHead() {
+				continue
+			}
+			pkt := v.buf[0].Pkt
+			if pkt.Intermediate >= 0 && pkt.Phase == 0 && r.ID == pkt.Intermediate {
+				pkt.Phase = 1
+			}
+			if pkt.DstRouter == r.ID {
+				termPort := r.net.cfg.Topology.TerminalPort(pkt.Dst)
+				v.reqs = append(v.reqs[:0], PortRequest{Port: termPort, VCMask: AllVCs})
+				v.routed = true
+				continue
+			}
+			r.routeBuf = r.net.cfg.Routing.Route(r, p, pkt, r.routeBuf[:0])
+			if len(r.routeBuf) == 0 {
+				panic(fmt.Sprintf("sim: routing %s returned no ports for %v at router %d", r.net.cfg.Routing.Name(), pkt, r.ID))
+			}
+			v.reqs = append(v.reqs[:0], r.routeBuf...)
+			v.routed = true
+		}
+	}
+}
+
+// claimSpinPorts reserves output ports for VCs that are spinning this
+// cycle; SMs may not preempt a spin in progress.
+func (r *Router) claimSpinPorts() {
+	for p := range r.spinClaimed {
+		r.spinClaimed[p] = false
+	}
+	for p := 0; p < r.radix; p++ {
+		for _, v := range r.in[p] {
+			if v.spinning && len(v.buf) > 0 {
+				r.spinClaimed[v.outPort] = true
+			}
+		}
+	}
+}
+
+// resolveSMs arbitrates this cycle's SM sends per output port and places
+// winners on the links.
+func (r *Router) resolveSMs() {
+	for p := range r.smBusy {
+		r.smBusy[p] = false
+	}
+	for p := 0; p < r.radix; p++ {
+		cands := r.smSends[p]
+		if len(cands) == 0 {
+			continue
+		}
+		r.smSends[p] = cands[:0]
+		if r.spinClaimed[p] || r.outLink[p] == nil {
+			r.net.stats.SMDropped += int64(len(cands))
+			continue
+		}
+		var win *SM
+		if len(cands) == 1 {
+			win = cands[0]
+		} else if r.agent != nil {
+			win = r.agent.PickSM(p, cands)
+		} else {
+			win = cands[0]
+		}
+		r.net.stats.SMDropped += int64(len(cands) - 1)
+		l := r.outLink[p]
+		l.sendSM(r.net.now, win)
+		r.smBusy[p] = true
+		if r.net.measuring() {
+			l.smCycles[win.Kind]++
+		}
+		r.net.stats.SMSent[win.Kind]++
+	}
+}
+
+// spinStage force-transmits one flit from every spinning VC.
+func (r *Router) spinStage() {
+	for p := 0; p < r.radix; p++ {
+		for _, v := range r.in[p] {
+			if !v.spinning || len(v.buf) == 0 {
+				continue
+			}
+			out, target := v.outPort, v.target
+			if r.inUsed[p] || r.outUsed[out] {
+				panic("sim: spin port collision")
+			}
+			r.sendFlitFrom(v, out, target)
+			r.inUsed[p] = true
+			r.outUsed[out] = true
+		}
+	}
+}
+
+// saStage performs switch allocation for normal (non-frozen, non-spinning)
+// traffic. Each input VC tries its port requests in preference order; a
+// rotating start index provides fairness.
+func (r *Router) saStage() {
+	vcsPerPort := r.VCsPerPort()
+	total := r.radix * vcsPerPort
+	if total == 0 {
+		return
+	}
+	start := r.rrPtr
+	for i := 0; i < total; i++ {
+		slot := start + i
+		if slot >= total {
+			slot -= total
+		}
+		p := slot / vcsPerPort
+		v := r.in[p][slot%vcsPerPort]
+		if len(v.buf) == 0 || v.frozen || v.spinning || r.inUsed[p] {
+			continue
+		}
+		if v.target != nil || (v.outPort >= 0 && v.outPort < r.localPorts) {
+			// Granted packet (or ejection in progress): stream next flit.
+			r.tryContinue(v)
+			continue
+		}
+		if v.routed && v.buf[0].IsHead() {
+			r.tryGrant(v)
+		}
+	}
+	r.rrPtr++
+	if r.rrPtr >= total {
+		r.rrPtr = 0
+	}
+}
+
+// tryContinue streams a flit of an already-granted packet.
+func (r *Router) tryContinue(v *VC) {
+	out := v.outPort
+	if r.outUsed[out] {
+		return
+	}
+	if v.target == nil {
+		// Ejection continues unconditionally: the NIC never stalls.
+		r.ejectFlit(v)
+		r.inUsed[v.port] = true
+		r.outUsed[out] = true
+		return
+	}
+	if r.smBusy[out] {
+		return
+	}
+	if v.target.FreeSlots() <= 0 {
+		return
+	}
+	r.sendFlitFrom(v, out, v.target)
+	r.inUsed[v.port] = true
+	r.outUsed[out] = true
+}
+
+// tryGrant walks the request list of a routed head packet and performs VC
+// allocation plus first-flit transmission on the first viable request.
+func (r *Router) tryGrant(v *VC) {
+	pkt := v.buf[0].Pkt
+	for _, req := range v.reqs {
+		out := req.Port
+		if r.outUsed[out] {
+			continue
+		}
+		if out < r.localPorts {
+			// Ejection request.
+			v.outPort = out
+			r.ejectFlit(v)
+			r.inUsed[v.port] = true
+			r.outUsed[out] = true
+			return
+		}
+		if r.smBusy[out] || r.outLink[out] == nil {
+			continue
+		}
+		d, inPort, _ := r.Downstream(out)
+		base := pkt.VNet * r.net.cfg.VCsPerVNet
+		for k := 0; k < r.net.cfg.VCsPerVNet; k++ {
+			if req.VCMask&(1<<uint(k)) == 0 {
+				continue
+			}
+			dvc := d.in[inPort][base+k]
+			if !dvc.CanAccept(pkt.Length) {
+				continue
+			}
+			if r.agent != nil && !r.agent.FilterSend(v, out, dvc) {
+				continue
+			}
+			dvc.reserve(pkt, r.net.now, false)
+			v.target = dvc
+			v.outPort = out
+			r.sendFlitFrom(v, out, dvc)
+			r.inUsed[v.port] = true
+			r.outUsed[out] = true
+			return
+		}
+	}
+}
+
+// sendFlitFrom dequeues v's front flit onto the output link toward dvc.
+func (r *Router) sendFlitFrom(v *VC, out int, dvc *VC) {
+	f := v.dequeue()
+	l := r.outLink[out]
+	dvc.inFlight++
+	l.sendFlit(r.net.now, f, dvc)
+	if r.net.measuring() {
+		l.flitCycles++
+		r.net.stats.BufferReads++
+		r.net.stats.XbarTraversals++
+		r.net.stats.LinkTraversals++
+	}
+}
+
+// ejectFlit removes v's front flit from the network into the NIC sink.
+func (r *Router) ejectFlit(v *VC) {
+	f := v.dequeue()
+	if r.net.measuring() {
+		r.net.stats.BufferReads++
+		r.net.stats.XbarTraversals++
+	}
+	r.net.ejected(f)
+}

@@ -1,0 +1,91 @@
+package sim
+
+import "fmt"
+
+// SMKind enumerates the special-message classes of the SPIN protocol.
+// Their processing priority under link contention is
+// ProbeMove > Move = KillMove > Probe, and every SM outranks flits.
+type SMKind uint8
+
+// Special message kinds.
+const (
+	SMProbe SMKind = iota
+	SMMove
+	SMProbeMove
+	SMKillMove
+	numSMKinds
+)
+
+// String returns the SM kind name.
+func (k SMKind) String() string {
+	switch k {
+	case SMProbe:
+		return "probe"
+	case SMMove:
+		return "move"
+	case SMProbeMove:
+		return "probe_move"
+	case SMKillMove:
+		return "kill_move"
+	}
+	return fmt.Sprintf("sm(%d)", uint8(k))
+}
+
+// ClassPriority reports the SM's contention class: higher wins the link.
+func (k SMKind) ClassPriority() int {
+	switch k {
+	case SMProbeMove:
+		return 3
+	case SMMove, SMKillMove:
+		return 2
+	case SMProbe:
+		return 1
+	}
+	return 0
+}
+
+// SM is a special message. SMs are bufferless: they traverse regular links
+// at higher priority than flits, are never stored, and are dropped on
+// contention loss — the sender's FSM recovers via timeouts.
+type SM struct {
+	Kind   SMKind
+	Sender int // initiating router id
+	// Path holds output-port ids. A probe appends the port it leaves each
+	// router by; move-class SMs consume the path from the front so that
+	// the next hop's port is always Path[0].
+	Path []uint8
+	// SpinCycle is the absolute cycle of the synchronized movement
+	// (move/probe_move only).
+	SpinCycle int64
+	// LoopLen is the dependency-loop traversal time in cycles, measured by
+	// the initiator from its probe's accumulated hop latency.
+	LoopLen int64
+	// FirstOut is the output port the initiating router launched a probe
+	// from — the initiator's own link of the dependency loop.
+	FirstOut uint8
+	// VNet is the virtual network whose buffer dependencies the SM
+	// traces. Virtual networks are independent resource classes: a
+	// deadlock lives entirely within one, so probes ignore other vnets'
+	// VCs and moves only freeze VCs of their own class.
+	VNet uint8
+	// HopCycles accumulates the link latency of every hop a probe takes;
+	// when the probe returns it equals the loop traversal time.
+	HopCycles int64
+	// Forked marks probe copies produced by a fork. Forked copies explore
+	// secondary dependencies and are subject to priority culling
+	// immediately, which bounds the fork tree.
+	Forked bool
+	// Tag identifies the recovery attempt for tracing.
+	Tag uint64
+}
+
+// Clone returns a deep copy (used when forking probes).
+func (m *SM) Clone() *SM {
+	c := *m
+	c.Path = append([]uint8(nil), m.Path...)
+	return &c
+}
+
+func (m *SM) String() string {
+	return fmt.Sprintf("%s from r%d path=%v spin@%d", m.Kind, m.Sender, m.Path, m.SpinCycle)
+}

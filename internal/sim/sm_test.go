@@ -1,0 +1,108 @@
+package sim
+
+import "testing"
+
+func TestSMKindStrings(t *testing.T) {
+	cases := map[SMKind]string{
+		SMProbe:     "probe",
+		SMMove:      "move",
+		SMProbeMove: "probe_move",
+		SMKillMove:  "kill_move",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if SMKind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestSMCloneIsDeep(t *testing.T) {
+	m := &SM{Kind: SMProbe, Sender: 3, Path: []uint8{1, 2}, SpinCycle: 9, LoopLen: 4, HopCycles: 7, FirstOut: 2}
+	c := m.Clone()
+	c.Path = append(c.Path, 5)
+	c.Path[0] = 9
+	if len(m.Path) != 2 || m.Path[0] != 1 {
+		t.Fatalf("clone shares path storage: %v", m.Path)
+	}
+	if c.Sender != 3 || c.SpinCycle != 9 || c.HopCycles != 7 || c.FirstOut != 2 {
+		t.Fatal("clone lost fields")
+	}
+	if m.String() == "" || c.String() == "" {
+		t.Fatal("empty SM render")
+	}
+}
+
+func TestPacketHelpers(t *testing.T) {
+	p := &Packet{ID: 7, Src: 1, Dst: 2, DstRouter: 5, Intermediate: 3, Phase: 0, Length: 5}
+	if p.RouteDst() != 3 {
+		t.Fatal("phase-0 non-minimal packet should head for the intermediate router")
+	}
+	p.Phase = 1
+	if p.RouteDst() != 5 {
+		t.Fatal("phase-1 packet should head for the destination router")
+	}
+	p.Intermediate = -1
+	p.Phase = 0
+	if p.RouteDst() != 5 {
+		t.Fatal("minimal packet should head for the destination router")
+	}
+	if p.String() == "" {
+		t.Fatal("empty packet render")
+	}
+	head := Flit{Pkt: p, Seq: 0}
+	tail := Flit{Pkt: p, Seq: 4}
+	if !head.IsHead() || head.IsTail() {
+		t.Fatal("head flit misclassified")
+	}
+	if tail.IsHead() || !tail.IsTail() {
+		t.Fatal("tail flit misclassified")
+	}
+	single := Flit{Pkt: &Packet{Length: 1}, Seq: 0}
+	if !single.IsHead() || !single.IsTail() {
+		t.Fatal("single-flit packet should be head and tail")
+	}
+}
+
+func TestChecksumDistinguishesIdentity(t *testing.T) {
+	a := checksumFor(1, 2, 3, 5)
+	if a != checksumFor(1, 2, 3, 5) {
+		t.Fatal("checksum not deterministic")
+	}
+	for _, b := range []uint64{
+		checksumFor(2, 2, 3, 5),
+		checksumFor(1, 3, 3, 5),
+		checksumFor(1, 2, 4, 5),
+		checksumFor(1, 2, 3, 1),
+	} {
+		if a == b {
+			t.Fatal("checksum collision across identities")
+		}
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	var s Stats
+	if s.AvgLatency() != 0 || s.AvgNetLatency() != 0 || s.AvgHops() != 0 || s.Throughput(8) != 0 {
+		t.Fatal("zero-value stats should report zeros")
+	}
+	s.EjectedMeasured = 4
+	s.LatencySum = 40
+	s.NetLatencySum = 20
+	s.HopSum = 12
+	s.MeasuredCycles = 100
+	s.EjectedFlitsMeas = 50
+	if s.AvgLatency() != 10 || s.AvgNetLatency() != 5 || s.AvgHops() != 3 {
+		t.Fatal("averages wrong")
+	}
+	if got := s.Throughput(5); got != 0.1 {
+		t.Fatalf("throughput = %f, want 0.1", got)
+	}
+	s.Count("x", 2)
+	s.Count("x", 3)
+	if s.Counter("x") != 5 || s.Counter("y") != 0 {
+		t.Fatal("counter bookkeeping wrong")
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// vcFixture builds a 2-router line so VCs have real routers behind them.
+func vcFixture(t *testing.T) (*Network, *VC) {
+	t.Helper()
+	g := lineTopology(t)
+	n, err := NewNetwork(Config{Topology: g, Routing: nopRouting{}, VCsPerVNet: 2, VCDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, n.Router(1).VC(2, 0)
+}
+
+func TestVCCanAcceptSemantics(t *testing.T) {
+	_, v := vcFixture(t)
+	if !v.CanAccept(5) {
+		t.Fatal("empty VC should accept a full packet")
+	}
+	p := &Packet{ID: 1, Length: 5}
+	v.reserve(p, 10, false)
+	if v.CanAccept(1) {
+		t.Fatal("reserved VC accepted another packet")
+	}
+	if v.ActiveTime(15) != 5 {
+		t.Fatalf("active time = %d, want 5", v.ActiveTime(15))
+	}
+	// Tail dequeue of the owner releases the reservation.
+	v.enqueue(Flit{Pkt: p, Seq: 0}, 10)
+	v.enqueue(Flit{Pkt: p, Seq: 4}, 11) // tail (length 5)
+	v.dequeue()
+	v.dequeue()
+	if v.resvOwner != nil {
+		t.Fatal("reservation not released on tail dequeue")
+	}
+	if v.ActiveTime(20) != 0 {
+		t.Fatal("idle VC should report zero active time")
+	}
+}
+
+func TestVCDoubleReservationPanics(t *testing.T) {
+	_, v := vcFixture(t)
+	v.reserve(&Packet{ID: 1, Length: 1}, 0, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double reservation should panic")
+		}
+	}()
+	v.reserve(&Packet{ID: 2, Length: 1}, 0, false)
+}
+
+func TestVCForceReservationOverrides(t *testing.T) {
+	_, v := vcFixture(t)
+	old := &Packet{ID: 1, Length: 2}
+	v.reserve(old, 0, false)
+	v.enqueue(Flit{Pkt: old, Seq: 0}, 0)
+	v.enqueue(Flit{Pkt: old, Seq: 1}, 0)
+	spun := &Packet{ID: 2, Length: 2}
+	v.reserve(spun, 5, true)
+	if v.resvOwner != spun {
+		t.Fatal("force reserve did not override")
+	}
+	// Old packet's tail leaving must NOT clear the new owner.
+	v.dequeue()
+	v.dequeue()
+	if v.resvOwner != spun {
+		t.Fatal("old tail cleared the spin packet's reservation")
+	}
+}
+
+func TestVCResidentComplete(t *testing.T) {
+	_, v := vcFixture(t)
+	p := &Packet{ID: 3, Length: 3}
+	v.reserve(p, 0, false)
+	v.enqueue(Flit{Pkt: p, Seq: 0}, 0)
+	if v.ResidentComplete() {
+		t.Fatal("partial packet reported complete")
+	}
+	v.enqueue(Flit{Pkt: p, Seq: 1}, 1)
+	v.enqueue(Flit{Pkt: p, Seq: 2}, 2)
+	if !v.ResidentComplete() {
+		t.Fatal("full packet reported incomplete")
+	}
+}
+
+func TestVCOverflowPanics(t *testing.T) {
+	_, v := vcFixture(t)
+	p := &Packet{ID: 4, Length: 5}
+	for i := 0; i < 5; i++ {
+		v.enqueue(Flit{Pkt: p, Seq: i}, 0)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow should panic")
+		}
+	}()
+	v.enqueue(Flit{Pkt: p, Seq: 5}, 0)
+}
+
+func TestVCVNetIndexing(t *testing.T) {
+	g := lineTopology(t)
+	n, err := NewNetwork(Config{Topology: g, Routing: nopRouting{}, VNets: 3, VCsPerVNet: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := n.Router(0)
+	if got := r.VC(1, 0).VNet(); got != 0 {
+		t.Fatalf("vc0 vnet = %d", got)
+	}
+	if got := r.VC(1, 3).VNet(); got != 1 {
+		t.Fatalf("vc3 vnet = %d", got)
+	}
+	if got := r.VC(1, 5).VNet(); got != 2 {
+		t.Fatalf("vc5 vnet = %d", got)
+	}
+}
+
+// lineTopology is a minimal 2-router bidirectional line: terminal port 0,
+// link ports 1 (east at r0 / unused at r1) and 2 (west input at r1).
+func lineTopology(t *testing.T) *topology.Graph {
+	t.Helper()
+	g, err := topology.NewGraph("line2", 2, []int{0, 1}, []topology.Link{
+		{Src: 0, SrcPort: 1, Dst: 1, DstPort: 2, Latency: 1},
+		{Src: 1, SrcPort: 1, Dst: 0, DstPort: 2, Latency: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// nopRouting always requests port 1 — enough for fixtures that never
+// route real traffic.
+type nopRouting struct{ BaseRouting }
+
+func (nopRouting) Name() string { return "nop" }
+
+func (nopRouting) Route(_ *Router, _ int, _ *Packet, buf []PortRequest) []PortRequest {
+	return append(buf, PortRequest{Port: 1, VCMask: AllVCs})
+}

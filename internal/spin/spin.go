@@ -1,0 +1,123 @@
+// Package spin is the distributed, topology-agnostic implementation of
+// the SPIN deadlock-freedom framework (Section IV of the paper).
+//
+// Every router carries one counter-driven agent. Detection uses a timeout
+// (tDD) on a round-robin-watched blocked VC; a probe special message (SM)
+// confirms the cyclic dependency and records its path; a move SM freezes
+// one VC per router of the loop and announces the spin cycle
+// (send + 2 × loop length); at the spin cycle all frozen routers push
+// their frozen packets out simultaneously — the spin. A probe_move SM
+// accelerates multi-spin deadlocks, and kill_move cancels recoveries whose
+// dependency dissolved. All SMs share the data links at priority
+// probe_move > move = kill_move > probe > flit, travel buffered-nowhere,
+// and are dropped on contention, arbitrated by rotating router priorities
+// with an epoch of 4·tDD cycles.
+package spin
+
+import (
+	"repro/internal/sim"
+)
+
+// Config parameterises the scheme.
+type Config struct {
+	// TDD is the deadlock-detection timeout in cycles (paper default 128).
+	TDD int64
+	// EpochFactor scales the rotating-priority epoch: epoch = EpochFactor
+	// × TDD (paper default 4).
+	EpochFactor int64
+	// DisableProbeMove turns off the multi-spin optimisation; the FSM then
+	// falls back to fresh detection after every spin (ablation knob).
+	DisableProbeMove bool
+	// PriorityDrop enables the literal reading of the paper's rule that a
+	// router drops probes from senders with lower dynamic priority at
+	// EVERY hop. It guarantees at most one confirmed recovery per loop but
+	// serialises recovery behind the rotating priority, which collapses
+	// throughput once congestion couples many loops. The default applies
+	// the rule only after GraceHops hops: short loops (the common case)
+	// confirm in parallel from any initiator, while long probe walks are
+	// culled quickly, keeping SM link utilisation negligible.
+	PriorityDrop bool
+	// GraceHops is how many hops a probe travels before the rotating
+	// priority rule may drop it (default 12; ignored when PriorityDrop
+	// forces the rule from hop one).
+	GraceHops int
+	// DisableProbeFork drops probes at input ports whose packets wait on
+	// more than one output port instead of forking them. The paper argues
+	// forking is required to trace inter-dependent cycles; this ablation
+	// knob lets the claim be measured.
+	DisableProbeFork bool
+	// MaxPathLen caps the probe path (loop-buffer depth); 0 means
+	// 2 × routers. The paper sizes the loop buffer at N entries
+	// (log2(radix)·N bits); we default larger because fully developed
+	// congestion can grow dependency cycles past N hops, and a cycle
+	// longer than the cap can never be confirmed or recovered. The cap
+	// also bounds probe lifetime, keeping SM link utilisation low.
+	MaxPathLen int
+	// CountTruth enables oracle-backed false-positive accounting: each
+	// confirmed recovery is checked against the global deadlock oracle.
+	// Costs oracle runs per recovery; used by the Fig. 9 experiment.
+	CountTruth bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TDD == 0 {
+		c.TDD = 128
+	}
+	if c.GraceHops == 0 {
+		c.GraceHops = 12
+	}
+	if c.EpochFactor == 0 {
+		c.EpochFactor = 4
+	}
+	return c
+}
+
+// Scheme implements sim.Scheme for SPIN.
+type Scheme struct {
+	cfg    Config
+	net    *sim.Network
+	agents []*Agent
+	epoch  int64
+	tagSeq uint64
+}
+
+// New builds a SPIN scheme with cfg (zero value = paper defaults).
+func New(cfg Config) *Scheme {
+	return &Scheme{cfg: cfg.withDefaults()}
+}
+
+// Name implements sim.Scheme.
+func (s *Scheme) Name() string { return "spin" }
+
+// Attach implements sim.Scheme.
+func (s *Scheme) Attach(n *sim.Network) {
+	s.net = n
+	s.epoch = s.cfg.EpochFactor * s.cfg.TDD
+	if s.cfg.MaxPathLen == 0 {
+		s.cfg.MaxPathLen = 2 * n.NumRouters()
+	}
+	s.agents = make([]*Agent, n.NumRouters())
+	for i := 0; i < n.NumRouters(); i++ {
+		a := newAgent(s, n.Router(i))
+		s.agents[i] = a
+		n.SetAgent(i, a)
+	}
+}
+
+// Agents exposes the per-router agents (tests and the walkthrough
+// example inspect FSM state).
+func (s *Scheme) Agents() []*Agent { return s.agents }
+
+// Priority reports router r's dynamic priority at cycle now: priorities
+// rotate round-robin every epoch so that every router eventually holds the
+// highest priority long enough (≥ 3·tDD of its 4·tDD epoch) to detect a
+// deadlock, emit a probe and get it back without contention drops.
+func (s *Scheme) Priority(r int, now int64) int {
+	n := int64(s.net.NumRouters())
+	return int((int64(r) + now/s.epoch) % n)
+}
+
+func (s *Scheme) nextTag() uint64 {
+	s.tagSeq++
+	return s.tagSeq
+}

@@ -1,0 +1,81 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// IrregularMesh is a mesh with a subset of its bidirectional links removed,
+// modelling faulty or power-gated channels. Such topologies generally admit
+// no turn-model routing and motivate SPIN's topology agnosticism.
+type IrregularMesh struct {
+	*Graph
+	X, Y         int
+	RemovedPairs [][2]int // router pairs whose channel was removed
+}
+
+// NewIrregularMesh builds an X×Y mesh and removes up to faults
+// bidirectional links chosen with rng, never disconnecting the network.
+// It reports the actually removed channel count via len(RemovedPairs).
+func NewIrregularMesh(x, y, linkLatency, faults int, rng *rand.Rand) (*IrregularMesh, error) {
+	base, err := NewMesh(x, y, linkLatency)
+	if err != nil {
+		return nil, err
+	}
+	// Collect candidate bidirectional channels as (lowRouter, highRouter).
+	type chanPair struct{ a, b int }
+	seen := map[chanPair]bool{}
+	var channels []chanPair
+	for _, l := range base.Links() {
+		a, b := l.Src, l.Dst
+		if a > b {
+			a, b = b, a
+		}
+		cp := chanPair{a, b}
+		if !seen[cp] {
+			seen[cp] = true
+			channels = append(channels, cp)
+		}
+	}
+	rng.Shuffle(len(channels), func(i, j int) { channels[i], channels[j] = channels[j], channels[i] })
+
+	removed := map[chanPair]bool{}
+	var removedPairs [][2]int
+	links := base.Links()
+	build := func() (*Graph, error) {
+		var kept []Link
+		for _, l := range links {
+			a, b := l.Src, l.Dst
+			if a > b {
+				a, b = b, a
+			}
+			if removed[chanPair{a, b}] {
+				continue
+			}
+			kept = append(kept, l)
+		}
+		terms := make([]int, x*y)
+		for i := range terms {
+			terms[i] = i
+		}
+		return NewGraph(fmt.Sprintf("irrmesh%dx%d_f%d", x, y, len(removed)), x*y, terms, kept)
+	}
+	g := base.Graph
+	for _, cp := range channels {
+		if len(removedPairs) >= faults {
+			break
+		}
+		removed[cp] = true
+		cand, err := build()
+		if err != nil || !cand.Connected() {
+			delete(removed, cp)
+			continue
+		}
+		g = cand
+		removedPairs = append(removedPairs, [2]int{cp.a, cp.b})
+	}
+	return &IrregularMesh{Graph: g, X: x, Y: y, RemovedPairs: removedPairs}, nil
+}
+
+// Coords reports the (x, y) coordinates of router r.
+func (m *IrregularMesh) Coords(r int) (int, int) { return r % m.X, r / m.X }

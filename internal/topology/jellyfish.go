@@ -1,0 +1,192 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Jellyfish is the random regular-graph datacenter topology of Singla et
+// al. (NSDI 2012) — the paper's opening motivation for topology-agnostic
+// deadlock freedom: no turn model or escape-VC construction exists for an
+// arbitrary random graph, but SPIN works unchanged.
+//
+// Each of N switches has P terminal ports and Degree network ports, wired
+// by the classic Jellyfish procedure: connect random unsaturated switch
+// pairs; when stuck with one switch holding two free ports, break a
+// random existing link and splice the switch in.
+type Jellyfish struct {
+	*Graph
+	N, P, Degree int
+}
+
+// NewJellyfish builds a random Jellyfish with n switches, p terminals per
+// switch and the given network degree, using rng for the wiring. It
+// retries until the graph is connected (a handful of attempts suffice for
+// degree >= 3).
+func NewJellyfish(n, p, degree, linkLatency int, rng *rand.Rand) (*Jellyfish, error) {
+	if n < 4 || degree < 2 || degree >= n || p < 1 {
+		return nil, fmt.Errorf("topology: invalid jellyfish n=%d p=%d degree=%d", n, p, degree)
+	}
+	if n*degree%2 != 0 {
+		return nil, fmt.Errorf("topology: jellyfish needs n*degree even, got %d*%d", n, degree)
+	}
+	for attempt := 0; attempt < 32; attempt++ {
+		g, err := buildJellyfish(n, p, degree, linkLatency, rng)
+		if err != nil {
+			continue
+		}
+		if g.Connected() {
+			return &Jellyfish{Graph: g, N: n, P: p, Degree: degree}, nil
+		}
+	}
+	return nil, fmt.Errorf("topology: failed to build a connected jellyfish (n=%d, degree=%d)", n, degree)
+}
+
+func buildJellyfish(n, p, degree, lat int, rng *rand.Rand) (*Graph, error) {
+	type edge struct{ a, b int }
+	free := make([]int, n) // free network ports per switch
+	for i := range free {
+		free[i] = degree
+	}
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	var edges []edge
+	addEdge := func(a, b int) {
+		adj[a][b] = true
+		adj[b][a] = true
+		free[a]--
+		free[b]--
+		edges = append(edges, edge{a, b})
+	}
+	removeEdge := func(i int) edge {
+		e := edges[i]
+		edges[i] = edges[len(edges)-1]
+		edges = edges[:len(edges)-1]
+		delete(adj[e.a], e.b)
+		delete(adj[e.b], e.a)
+		free[e.a]++
+		free[e.b]++
+		return e
+	}
+	candidates := func() (int, int, bool) {
+		var open []int
+		for s, f := range free {
+			if f > 0 {
+				open = append(open, s)
+			}
+		}
+		rng.Shuffle(len(open), func(i, j int) { open[i], open[j] = open[j], open[i] })
+		for i := 0; i < len(open); i++ {
+			for j := i + 1; j < len(open); j++ {
+				a, b := open[i], open[j]
+				if !adj[a][b] {
+					return a, b, true
+				}
+			}
+		}
+		return 0, 0, false
+	}
+	for guard := 0; guard < n*degree*4; guard++ {
+		a, b, ok := candidates()
+		if ok {
+			addEdge(a, b)
+			continue
+		}
+		// No pair available: either done, or one switch holds >= 2 free
+		// ports — splice it into a random existing link.
+		var stuck = -1
+		for s, f := range free {
+			if f >= 2 {
+				stuck = s
+				break
+			}
+		}
+		if stuck < 0 {
+			break
+		}
+		if len(edges) == 0 {
+			return nil, fmt.Errorf("topology: jellyfish wiring stuck with no edges")
+		}
+		for try := 0; try < 16; try++ {
+			e := edges[rng.Intn(len(edges))]
+			if e.a == stuck || e.b == stuck || adj[stuck][e.a] || adj[stuck][e.b] {
+				continue
+			}
+			for i := range edges {
+				if edges[i] == e {
+					removeEdge(i)
+					break
+				}
+			}
+			addEdge(stuck, e.a)
+			addEdge(stuck, e.b)
+			break
+		}
+	}
+	// Materialise ports: terminals 0..p-1, network ports p..p+degree-1 in
+	// edge order per switch.
+	nextPort := make([]int, n)
+	for i := range nextPort {
+		nextPort[i] = p
+	}
+	var links []Link
+	for _, e := range edges {
+		pa, pb := nextPort[e.a], nextPort[e.b]
+		nextPort[e.a]++
+		nextPort[e.b]++
+		links = append(links,
+			Link{Src: e.a, SrcPort: pa, Dst: e.b, DstPort: pb, Latency: lat},
+			Link{Src: e.b, SrcPort: pb, Dst: e.a, DstPort: pa, Latency: lat})
+	}
+	terms := make([]int, n*p)
+	for t := range terms {
+		terms[t] = t / p
+	}
+	g, err := NewGraph(fmt.Sprintf("jellyfish_n%dd%d", n, degree), n, terms, links)
+	if err != nil {
+		return nil, err
+	}
+	g.ensureRadix(p + degree)
+	return g, nil
+}
+
+// FatTree is a folded-Clos (k-ary fat-tree style) indirect topology with
+// two switch levels: E edge switches each hosting P terminals, and S
+// spine switches each connected to every edge switch. Minimal routing is
+// edge -> spine -> edge; like the dragonfly it is covered by the generic
+// BFS minimal ports.
+type FatTree struct {
+	*Graph
+	Edges, Spines, P int
+}
+
+// NewFatTree builds the two-level folded Clos.
+func NewFatTree(edges, spines, p, linkLatency int) (*FatTree, error) {
+	if edges < 2 || spines < 1 || p < 1 {
+		return nil, fmt.Errorf("topology: invalid fattree e=%d s=%d p=%d", edges, spines, p)
+	}
+	n := edges + spines
+	// Switch ids: [0, edges) edge switches, [edges, n) spines.
+	terms := make([]int, edges*p)
+	for t := range terms {
+		terms[t] = t / p
+	}
+	var links []Link
+	for e := 0; e < edges; e++ {
+		for s := 0; s < spines; s++ {
+			edgePort := p + s
+			spinePort := e // spines host no terminals
+			sw := edges + s
+			links = append(links,
+				Link{Src: e, SrcPort: edgePort, Dst: sw, DstPort: spinePort, Latency: linkLatency},
+				Link{Src: sw, SrcPort: spinePort, Dst: e, DstPort: edgePort, Latency: linkLatency})
+		}
+	}
+	g, err := NewGraph(fmt.Sprintf("fattree_e%ds%d", edges, spines), n, terms, links)
+	if err != nil {
+		return nil, err
+	}
+	return &FatTree{Graph: g, Edges: edges, Spines: spines, P: p}, nil
+}

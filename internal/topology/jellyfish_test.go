@@ -1,0 +1,161 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestJellyfishBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	j, err := NewJellyfish(16, 2, 4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRouters() != 16 || j.NumTerminals() != 32 {
+		t.Fatalf("got %d routers, %d terminals", j.NumRouters(), j.NumTerminals())
+	}
+	if !j.Connected() {
+		t.Fatal("jellyfish not connected")
+	}
+	// Degree check: each switch has at most Degree network links and the
+	// total is n*degree (regular up to splice slack).
+	total := len(j.Links())
+	if total > 16*4 {
+		t.Fatalf("too many directed links: %d", total)
+	}
+	for r := 0; r < 16; r++ {
+		out := 0
+		for p := j.LocalPorts(r); p < j.Radix(r); p++ {
+			if _, ok := j.OutLink(r, p); ok {
+				out++
+			}
+		}
+		if out > 4 {
+			t.Fatalf("switch %d exceeds degree: %d", r, out)
+		}
+		if out < 2 {
+			t.Fatalf("switch %d underwired: %d", r, out)
+		}
+	}
+}
+
+func TestJellyfishDeterministicPerSeed(t *testing.T) {
+	a, err := NewJellyfish(12, 1, 3, 1, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewJellyfish(12, 1, 3, 1, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := a.Links(), b.Links()
+	if len(la) != len(lb) {
+		t.Fatal("same seed, different wiring")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("same seed, different wiring")
+		}
+	}
+}
+
+func TestJellyfishValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := NewJellyfish(3, 1, 2, 1, rng); err == nil {
+		t.Fatal("tiny jellyfish accepted")
+	}
+	if _, err := NewJellyfish(9, 1, 3, 1, rng); err == nil {
+		t.Fatal("odd n*degree accepted")
+	}
+	if _, err := NewJellyfish(8, 0, 3, 1, rng); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestJellyfishMinimalPortsWork(t *testing.T) {
+	j, err := NewJellyfish(16, 1, 4, 1, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if a == b {
+				continue
+			}
+			if len(j.MinimalPorts(a, b)) == 0 {
+				t.Fatalf("no minimal ports %d->%d", a, b)
+			}
+		}
+	}
+}
+
+func TestFatTreeBasics(t *testing.T) {
+	ft, err := NewFatTree(8, 4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.NumTerminals() != 32 {
+		t.Fatalf("terminals = %d, want 32", ft.NumTerminals())
+	}
+	if ft.NumRouters() != 12 {
+		t.Fatalf("routers = %d, want 12", ft.NumRouters())
+	}
+	if !ft.Connected() {
+		t.Fatal("fattree not connected")
+	}
+	// Minimal distance between terminals on different edge switches is 2
+	// (edge -> spine -> edge).
+	if d := ft.Distance(0, 1); d != 2 {
+		t.Fatalf("edge-to-edge distance = %d, want 2", d)
+	}
+	if dia := ft.Diameter(); dia != 2 {
+		t.Fatalf("diameter = %d, want 2", dia)
+	}
+	// Path diversity: every spine offers a minimal path.
+	if got := len(ft.MinimalPorts(0, 1)); got != 4 {
+		t.Fatalf("minimal ports edge->edge = %d, want 4 (one per spine)", got)
+	}
+}
+
+func TestFatTreeValidation(t *testing.T) {
+	if _, err := NewFatTree(1, 2, 2, 1); err == nil {
+		t.Fatal("single-edge fattree accepted")
+	}
+	if _, err := NewFatTree(4, 0, 2, 1); err == nil {
+		t.Fatal("spineless fattree accepted")
+	}
+}
+
+// Property: every canonical dragonfly hop makes progress — the remaining
+// BFS distance after taking it never exceeds the distance before it, for
+// every (router, destination) pair.
+func TestDragonflyCanonicalHopsNeverRegress(t *testing.T) {
+	d, err := NewDragonfly(2, 4, 2, 9, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < d.NumRouters(); r++ {
+		for dst := 0; dst < d.NumRouters(); dst++ {
+			if r == dst {
+				continue
+			}
+			ports := d.CanonicalMinimalPorts(r, dst)
+			if len(ports) == 0 {
+				t.Fatalf("no canonical port %d->%d", r, dst)
+			}
+			bfs := d.Distance(r, dst)
+			for _, p := range ports {
+				l, ok := d.OutLink(r, p)
+				if !ok {
+					t.Fatalf("canonical port %d at %d unwired", p, r)
+				}
+				// Walking the canonical hop must not lengthen the rest of
+				// the journey beyond the canonical 3-hop structure.
+				rest := d.Distance(l.Dst, dst)
+				if rest > bfs {
+					t.Fatalf("canonical hop %d->%d regresses: %d then %d (bfs %d)", r, l.Dst, bfs, rest, bfs)
+				}
+			}
+		}
+	}
+}

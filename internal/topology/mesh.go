@@ -1,0 +1,150 @@
+package topology
+
+import "fmt"
+
+// Direction labels the four mesh/torus link ports. The local (terminal)
+// port of a mesh router is port 0; directional ports follow.
+type Direction int
+
+// Mesh port directions. PortOf(d) = 1+d because port 0 is the terminal.
+const (
+	North Direction = iota
+	East
+	South
+	West
+	numDirections
+)
+
+// String returns the one-letter direction name used in probe paths.
+func (d Direction) String() string {
+	switch d {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	}
+	return "?"
+}
+
+// MeshPort maps a direction to its router port number (terminal is port 0).
+func MeshPort(d Direction) int { return 1 + int(d) }
+
+// MeshDirection maps a mesh link port back to its direction.
+// Port 0 (the terminal port) has no direction; MeshDirection panics on it.
+func MeshDirection(port int) Direction {
+	if port < 1 || port > int(numDirections) {
+		panic(fmt.Sprintf("topology: port %d is not a mesh direction port", port))
+	}
+	return Direction(port - 1)
+}
+
+// Mesh is a 2-D mesh (optionally a torus) of X×Y routers with one terminal
+// per router. Router r sits at coordinates (r mod X, r div X); +x is East,
+// +y is North.
+type Mesh struct {
+	*Graph
+	X, Y  int
+	Torus bool
+}
+
+// NewMesh builds an X×Y mesh with the given link latency (cycles).
+func NewMesh(x, y, linkLatency int) (*Mesh, error) {
+	return newMesh(x, y, linkLatency, false)
+}
+
+// NewTorus builds an X×Y torus with the given link latency (cycles).
+func NewTorus(x, y, linkLatency int) (*Mesh, error) {
+	return newMesh(x, y, linkLatency, true)
+}
+
+func newMesh(x, y, lat int, torus bool) (*Mesh, error) {
+	if x < 2 || y < 1 {
+		return nil, fmt.Errorf("topology: mesh needs x >= 2, y >= 1, got %dx%d", x, y)
+	}
+	n := x * y
+	terms := make([]int, n)
+	for i := range terms {
+		terms[i] = i
+	}
+	id := func(cx, cy int) int { return cy*x + cx }
+	var links []Link
+	addPair := func(a, ap, b, bp int) {
+		links = append(links,
+			Link{Src: a, SrcPort: ap, Dst: b, DstPort: bp, Latency: lat},
+			Link{Src: b, SrcPort: bp, Dst: a, DstPort: ap, Latency: lat})
+	}
+	for cy := 0; cy < y; cy++ {
+		for cx := 0; cx < x; cx++ {
+			if cx+1 < x {
+				addPair(id(cx, cy), MeshPort(East), id(cx+1, cy), MeshPort(West))
+			} else if torus && x > 2 {
+				addPair(id(cx, cy), MeshPort(East), id(0, cy), MeshPort(West))
+			}
+			if cy+1 < y {
+				addPair(id(cx, cy), MeshPort(North), id(cx, cy+1), MeshPort(South))
+			} else if torus && y > 2 {
+				addPair(id(cx, cy), MeshPort(North), id(cx, 0), MeshPort(South))
+			}
+		}
+	}
+	kind := "mesh"
+	if torus {
+		kind = "torus"
+	}
+	g, err := NewGraph(fmt.Sprintf("%s%dx%d", kind, x, y), n, terms, links)
+	if err != nil {
+		return nil, err
+	}
+	return &Mesh{Graph: g, X: x, Y: y, Torus: torus}, nil
+}
+
+// Coords reports the (x, y) coordinates of router r.
+func (m *Mesh) Coords(r int) (int, int) { return r % m.X, r / m.X }
+
+// RouterAt reports the router id at coordinates (x, y).
+func (m *Mesh) RouterAt(x, y int) int { return y*m.X + x }
+
+// Ring is a unidirectional or bidirectional ring of n routers, one
+// terminal each. It is the minimal substrate for bubble flow control.
+type Ring struct {
+	*Graph
+	N             int
+	Bidirectional bool
+}
+
+// Ring port layout: 0 terminal, 1 clockwise (toward r+1), 2 counter-
+// clockwise (toward r-1; only wired when bidirectional).
+const (
+	RingPortCW  = 1
+	RingPortCCW = 2
+)
+
+// NewRing builds a ring of n routers. If bidi is false only the clockwise
+// channel exists.
+func NewRing(n, linkLatency int, bidi bool) (*Ring, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs >= 3 routers, got %d", n)
+	}
+	terms := make([]int, n)
+	for i := range terms {
+		terms[i] = i
+	}
+	var links []Link
+	for r := 0; r < n; r++ {
+		next := (r + 1) % n
+		links = append(links, Link{Src: r, SrcPort: RingPortCW, Dst: next, DstPort: RingPortCCW, Latency: linkLatency})
+		if bidi {
+			links = append(links, Link{Src: next, SrcPort: RingPortCCW, Dst: r, DstPort: RingPortCW, Latency: linkLatency})
+		}
+	}
+	// In the unidirectional case port 2 (CCW) is only ever an input port.
+	g, err := NewGraph(fmt.Sprintf("ring%d", n), n, terms, links)
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{Graph: g, N: n, Bidirectional: bidi}, nil
+}

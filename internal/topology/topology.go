@@ -1,0 +1,285 @@
+// Package topology models interconnection-network topologies as directed
+// graphs of routers, ports and links.
+//
+// Routers are numbered 0..NumRouters()-1. Each router exposes a set of
+// ports; ports [0, LocalPorts(r)) attach terminals (network interfaces),
+// the rest attach inter-router links. A Link is a directed channel with a
+// latency in cycles; bidirectional physical channels are represented as a
+// pair of Links. The Graph type supplies adjacency and all-pairs hop-count
+// queries that topology-agnostic routing (and SPIN itself) rely on.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Link is a directed channel between an output port of router Src and an
+// input port of router Dst. Latency is the traversal time in cycles and
+// must be at least 1.
+type Link struct {
+	Src, Dst         int
+	SrcPort, DstPort int
+	Latency          int
+}
+
+// Topology describes a network: its routers, terminals, and links.
+//
+// Port numbering convention: at router r, ports [0, LocalPorts(r)) are
+// terminal (injection/ejection) ports; link ports occupy the remainder of
+// [0, Radix(r)).
+type Topology interface {
+	// Name identifies the topology (e.g. "mesh8x8").
+	Name() string
+	// NumRouters reports the number of routers.
+	NumRouters() int
+	// NumTerminals reports the number of attached terminals (NICs).
+	NumTerminals() int
+	// TerminalRouter reports the router terminal t attaches to.
+	TerminalRouter(t int) int
+	// TerminalPort reports the local port at TerminalRouter(t) where
+	// terminal t attaches.
+	TerminalPort(t int) int
+	// LocalPorts reports how many terminal ports router r has.
+	LocalPorts(r int) int
+	// Radix reports the total number of ports at router r.
+	Radix(r int) int
+	// Links returns every directed link. The slice must not be mutated.
+	Links() []Link
+	// OutLink resolves the link leaving router r via port p, if any.
+	OutLink(r, p int) (Link, bool)
+	// Distance reports the minimal hop count between routers a and b,
+	// or -1 if b is unreachable from a.
+	Distance(a, b int) int
+	// MinimalPorts returns the output ports at router r that lie on some
+	// minimal path toward router dst. The slice must not be mutated.
+	MinimalPorts(r, dst int) []int
+}
+
+// Graph is a concrete Topology built from an explicit link list. Concrete
+// topologies (Mesh, Dragonfly, ...) embed Graph and add coordinate helpers.
+type Graph struct {
+	name      string
+	routers   int
+	termOf    []int // terminal -> router
+	termPort  []int // terminal -> local port
+	localCnt  []int // router -> #terminal ports
+	radix     []int // router -> total ports
+	links     []Link
+	outLink   [][]int // [router][port] -> index into links, or -1
+	dist      [][]int16
+	minimal   [][][]int8 // [router][dst] -> minimal out ports
+	neighbors [][]int    // [router] -> outgoing link indices
+}
+
+// NewGraph assembles a Graph. terminals[t] gives the router each terminal
+// attaches to; terminal ports are assigned in order of appearance at each
+// router. Link ports must be numbered >= the number of terminals at their
+// router; NewGraph validates consistency and precomputes distances.
+func NewGraph(name string, routers int, terminals []int, links []Link) (*Graph, error) {
+	g := &Graph{
+		name:     name,
+		routers:  routers,
+		termOf:   append([]int(nil), terminals...),
+		localCnt: make([]int, routers),
+		radix:    make([]int, routers),
+		links:    append([]Link(nil), links...),
+	}
+	g.termPort = make([]int, len(terminals))
+	for t, r := range terminals {
+		if r < 0 || r >= routers {
+			return nil, fmt.Errorf("topology %s: terminal %d attaches to invalid router %d", name, t, r)
+		}
+		g.termPort[t] = g.localCnt[r]
+		g.localCnt[r]++
+	}
+	for r := 0; r < routers; r++ {
+		g.radix[r] = g.localCnt[r]
+	}
+	for i, l := range g.links {
+		if l.Src < 0 || l.Src >= routers || l.Dst < 0 || l.Dst >= routers {
+			return nil, fmt.Errorf("topology %s: link %d connects invalid routers %d->%d", name, i, l.Src, l.Dst)
+		}
+		if l.Latency < 1 {
+			return nil, fmt.Errorf("topology %s: link %d has latency %d < 1", name, i, l.Latency)
+		}
+		if l.SrcPort < g.localCnt[l.Src] || l.DstPort < g.localCnt[l.Dst] {
+			return nil, fmt.Errorf("topology %s: link %d uses a terminal port", name, i)
+		}
+		if l.SrcPort+1 > g.radix[l.Src] {
+			g.radix[l.Src] = l.SrcPort + 1
+		}
+		if l.DstPort+1 > g.radix[l.Dst] {
+			g.radix[l.Dst] = l.DstPort + 1
+		}
+	}
+	g.outLink = make([][]int, routers)
+	for r := 0; r < routers; r++ {
+		g.outLink[r] = make([]int, g.radix[r])
+		for p := range g.outLink[r] {
+			g.outLink[r][p] = -1
+		}
+	}
+	inSeen := make(map[[2]int]bool)
+	for i, l := range g.links {
+		if g.outLink[l.Src][l.SrcPort] != -1 {
+			return nil, fmt.Errorf("topology %s: two links leave router %d port %d", name, l.Src, l.SrcPort)
+		}
+		g.outLink[l.Src][l.SrcPort] = i
+		key := [2]int{l.Dst, l.DstPort}
+		if inSeen[key] {
+			return nil, fmt.Errorf("topology %s: two links enter router %d port %d", name, l.Dst, l.DstPort)
+		}
+		inSeen[key] = true
+	}
+	g.neighbors = make([][]int, routers)
+	for i, l := range g.links {
+		g.neighbors[l.Src] = append(g.neighbors[l.Src], i)
+	}
+	g.computeDistances()
+	g.computeMinimalPorts()
+	return g, nil
+}
+
+func (g *Graph) computeDistances() {
+	g.dist = make([][]int16, g.routers)
+	queue := make([]int, 0, g.routers)
+	for s := 0; s < g.routers; s++ {
+		d := make([]int16, g.routers)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			r := queue[0]
+			queue = queue[1:]
+			for _, li := range g.neighbors[r] {
+				n := g.links[li].Dst
+				if d[n] == -1 {
+					d[n] = d[r] + 1
+					queue = append(queue, n)
+				}
+			}
+		}
+		g.dist[s] = d
+	}
+}
+
+func (g *Graph) computeMinimalPorts() {
+	g.minimal = make([][][]int8, g.routers)
+	for r := 0; r < g.routers; r++ {
+		g.minimal[r] = make([][]int8, g.routers)
+		for dst := 0; dst < g.routers; dst++ {
+			if r == dst || g.dist[r][dst] < 0 {
+				continue
+			}
+			var ports []int8
+			for _, li := range g.neighbors[r] {
+				l := g.links[li]
+				if g.dist[l.Dst][dst] >= 0 && g.dist[l.Dst][dst] == g.dist[r][dst]-1 {
+					ports = append(ports, int8(l.SrcPort))
+				}
+			}
+			sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+			g.minimal[r][dst] = ports
+		}
+	}
+}
+
+// Name implements Topology.
+func (g *Graph) Name() string { return g.name }
+
+// NumRouters implements Topology.
+func (g *Graph) NumRouters() int { return g.routers }
+
+// NumTerminals implements Topology.
+func (g *Graph) NumTerminals() int { return len(g.termOf) }
+
+// TerminalRouter implements Topology.
+func (g *Graph) TerminalRouter(t int) int { return g.termOf[t] }
+
+// TerminalPort implements Topology.
+func (g *Graph) TerminalPort(t int) int { return g.termPort[t] }
+
+// LocalPorts implements Topology.
+func (g *Graph) LocalPorts(r int) int { return g.localCnt[r] }
+
+// Radix implements Topology.
+func (g *Graph) Radix(r int) int { return g.radix[r] }
+
+// Links implements Topology.
+func (g *Graph) Links() []Link { return g.links }
+
+// OutLink implements Topology.
+func (g *Graph) OutLink(r, p int) (Link, bool) {
+	if r < 0 || r >= g.routers || p < 0 || p >= len(g.outLink[r]) {
+		return Link{}, false
+	}
+	li := g.outLink[r][p]
+	if li < 0 {
+		return Link{}, false
+	}
+	return g.links[li], true
+}
+
+// Distance implements Topology.
+func (g *Graph) Distance(a, b int) int { return int(g.dist[a][b]) }
+
+// MinimalPorts implements Topology.
+func (g *Graph) MinimalPorts(r, dst int) []int {
+	ports := g.minimal[r][dst]
+	out := make([]int, len(ports))
+	for i, p := range ports {
+		out[i] = int(p)
+	}
+	return out
+}
+
+// MinimalPortsInto appends the minimal output ports of r toward dst to buf
+// and returns it, avoiding allocation on hot paths.
+func (g *Graph) MinimalPortsInto(buf []int, r, dst int) []int {
+	for _, p := range g.minimal[r][dst] {
+		buf = append(buf, int(p))
+	}
+	return buf
+}
+
+// ensureRadix grows every router's declared radix to at least min, leaving
+// the extra ports unwired. Regular topologies use it so that spare channels
+// (e.g. an unused dragonfly global port) still count toward the radix.
+func (g *Graph) ensureRadix(min int) {
+	for r := range g.radix {
+		for len(g.outLink[r]) < min {
+			g.outLink[r] = append(g.outLink[r], -1)
+		}
+		if g.radix[r] < min {
+			g.radix[r] = min
+		}
+	}
+}
+
+// Connected reports whether every router can reach every other router.
+func (g *Graph) Connected() bool {
+	for a := 0; a < g.routers; a++ {
+		for b := 0; b < g.routers; b++ {
+			if g.dist[a][b] < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diameter reports the maximum finite router-to-router distance.
+func (g *Graph) Diameter() int {
+	max := 0
+	for a := 0; a < g.routers; a++ {
+		for b := 0; b < g.routers; b++ {
+			if d := int(g.dist[a][b]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

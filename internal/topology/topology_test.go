@@ -1,0 +1,337 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshBasics(t *testing.T) {
+	m, err := NewMesh(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRouters() != 64 || m.NumTerminals() != 64 {
+		t.Fatalf("got %d routers, %d terminals", m.NumRouters(), m.NumTerminals())
+	}
+	if got := len(m.Links()); got != 2*(7*8+7*8) {
+		t.Fatalf("link count = %d, want %d", got, 2*2*7*8)
+	}
+	if !m.Connected() {
+		t.Fatal("mesh not connected")
+	}
+	if d := m.Diameter(); d != 14 {
+		t.Fatalf("diameter = %d, want 14", d)
+	}
+}
+
+func TestMeshCoords(t *testing.T) {
+	m, _ := NewMesh(4, 3, 1)
+	for r := 0; r < 12; r++ {
+		x, y := m.Coords(r)
+		if m.RouterAt(x, y) != r {
+			t.Fatalf("RouterAt(Coords(%d)) = %d", r, m.RouterAt(x, y))
+		}
+	}
+	x, y := m.Coords(7)
+	if x != 3 || y != 1 {
+		t.Fatalf("Coords(7) = (%d,%d), want (3,1)", x, y)
+	}
+}
+
+func TestMeshDistanceIsManhattan(t *testing.T) {
+	m, _ := NewMesh(5, 4, 1)
+	abs := func(v int) int {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	for a := 0; a < m.NumRouters(); a++ {
+		for b := 0; b < m.NumRouters(); b++ {
+			ax, ay := m.Coords(a)
+			bx, by := m.Coords(b)
+			want := abs(ax-bx) + abs(ay-by)
+			if got := m.Distance(a, b); got != want {
+				t.Fatalf("Distance(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMeshDirectionalPorts(t *testing.T) {
+	m, _ := NewMesh(3, 3, 1)
+	center := m.RouterAt(1, 1)
+	cases := []struct {
+		dir  Direction
+		want int
+	}{
+		{North, m.RouterAt(1, 2)},
+		{East, m.RouterAt(2, 1)},
+		{South, m.RouterAt(1, 0)},
+		{West, m.RouterAt(0, 1)},
+	}
+	for _, c := range cases {
+		l, ok := m.OutLink(center, MeshPort(c.dir))
+		if !ok {
+			t.Fatalf("center router missing %v link", c.dir)
+		}
+		if l.Dst != c.want {
+			t.Fatalf("%v neighbor = %d, want %d", c.dir, l.Dst, c.want)
+		}
+	}
+	// Corner router 0 has no South/West links.
+	if _, ok := m.OutLink(0, MeshPort(South)); ok {
+		t.Fatal("corner has South link")
+	}
+	if _, ok := m.OutLink(0, MeshPort(West)); ok {
+		t.Fatal("corner has West link")
+	}
+}
+
+func TestMeshDirectionRoundTrip(t *testing.T) {
+	for d := North; d < numDirections; d++ {
+		if MeshDirection(MeshPort(d)) != d {
+			t.Fatalf("direction round trip failed for %v", d)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MeshDirection(0) should panic")
+		}
+	}()
+	MeshDirection(0)
+}
+
+func TestTorusDistance(t *testing.T) {
+	m, err := NewTorus(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wraparound: (0,0) to (3,0) is 1 hop in a 4-ary torus.
+	if d := m.Distance(m.RouterAt(0, 0), m.RouterAt(3, 0)); d != 1 {
+		t.Fatalf("torus wrap distance = %d, want 1", d)
+	}
+	if d := m.Diameter(); d != 4 {
+		t.Fatalf("torus diameter = %d, want 4", d)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r, err := NewRing(8, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Connected() {
+		t.Fatal("unidirectional ring should be connected")
+	}
+	if d := r.Distance(0, 7); d != 7 {
+		t.Fatalf("ring distance 0->7 = %d, want 7 (unidirectional)", d)
+	}
+	bi, err := NewRing(8, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := bi.Distance(0, 7); d != 1 {
+		t.Fatalf("bidi ring distance 0->7 = %d, want 1", d)
+	}
+}
+
+func TestDragonflyPaper1024(t *testing.T) {
+	d, err := NewDragonfly(4, 8, 4, 32, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTerminals() != 1024 {
+		t.Fatalf("terminals = %d, want 1024", d.NumTerminals())
+	}
+	if d.NumRouters() != 256 {
+		t.Fatalf("routers = %d, want 256", d.NumRouters())
+	}
+	if !d.Connected() {
+		t.Fatal("dragonfly not connected")
+	}
+	// Minimal diameter of a fully group-connected dragonfly is 3:
+	// local hop, global hop, local hop.
+	if dia := d.Diameter(); dia != 3 {
+		t.Fatalf("diameter = %d, want 3", dia)
+	}
+}
+
+func TestDragonflyGroupConnectivity(t *testing.T) {
+	d, err := NewDragonfly(2, 4, 2, 9, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pair of groups must share at least one global channel.
+	pair := make(map[[2]int]bool)
+	for _, l := range d.Links() {
+		ga, gb := d.Group(l.Src), d.Group(l.Dst)
+		if ga != gb {
+			pair[[2]int{ga, gb}] = true
+		}
+	}
+	for a := 0; a < d.G; a++ {
+		for b := 0; b < d.G; b++ {
+			if a != b && !pair[[2]int{a, b}] {
+				t.Fatalf("groups %d and %d not connected", a, b)
+			}
+		}
+	}
+}
+
+func TestDragonflyPortLayout(t *testing.T) {
+	d, _ := NewDragonfly(4, 8, 4, 32, 1, 3)
+	if d.GlobalPortBase() != 4+8-1 {
+		t.Fatalf("global port base = %d, want 11", d.GlobalPortBase())
+	}
+	for r := 0; r < d.NumRouters(); r++ {
+		if d.LocalPorts(r) != 4 {
+			t.Fatalf("router %d has %d terminal ports, want 4", r, d.LocalPorts(r))
+		}
+		if d.Radix(r) != 4+7+4 {
+			t.Fatalf("router %d radix = %d, want 15", r, d.Radix(r))
+		}
+	}
+	// Terminal t attaches to router t/4.
+	if d.TerminalRouter(17) != 4 {
+		t.Fatalf("terminal 17 router = %d, want 4", d.TerminalRouter(17))
+	}
+}
+
+func TestDragonflyGlobalLinkLatency(t *testing.T) {
+	d, _ := NewDragonfly(4, 8, 4, 32, 1, 3)
+	for _, l := range d.Links() {
+		inter := d.Group(l.Src) != d.Group(l.Dst)
+		if inter && l.Latency != 3 {
+			t.Fatalf("inter-group link latency = %d, want 3", l.Latency)
+		}
+		if !inter && l.Latency != 1 {
+			t.Fatalf("intra-group link latency = %d, want 1", l.Latency)
+		}
+	}
+}
+
+func TestMinimalPortsLeadCloser(t *testing.T) {
+	tops := []Topology{
+		mustMesh(t, 6, 6),
+		mustDfly(t),
+	}
+	for _, top := range tops {
+		for r := 0; r < top.NumRouters(); r += 7 {
+			for dst := 0; dst < top.NumRouters(); dst += 11 {
+				if r == dst {
+					continue
+				}
+				ports := top.MinimalPorts(r, dst)
+				if len(ports) == 0 {
+					t.Fatalf("%s: no minimal port %d->%d", top.Name(), r, dst)
+				}
+				for _, p := range ports {
+					l, ok := top.OutLink(r, p)
+					if !ok {
+						t.Fatalf("%s: minimal port %d at %d has no link", top.Name(), p, r)
+					}
+					if top.Distance(l.Dst, dst) != top.Distance(r, dst)-1 {
+						t.Fatalf("%s: port %d at %d not minimal toward %d", top.Name(), p, r, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIrregularMeshStaysConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m, err := NewIrregularMesh(8, 8, 1, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.RemovedPairs) == 0 {
+		t.Fatal("no links removed")
+	}
+	if !m.Connected() {
+		t.Fatal("irregular mesh disconnected")
+	}
+	if got := len(m.Links()); got >= 2*2*7*8 {
+		t.Fatalf("links not removed: %d", got)
+	}
+}
+
+func TestIrregularMeshDeterministic(t *testing.T) {
+	a, _ := NewIrregularMesh(6, 6, 1, 5, rand.New(rand.NewSource(7)))
+	b, _ := NewIrregularMesh(6, 6, 1, 5, rand.New(rand.NewSource(7)))
+	if len(a.RemovedPairs) != len(b.RemovedPairs) {
+		t.Fatal("same seed produced different fault sets")
+	}
+	for i := range a.RemovedPairs {
+		if a.RemovedPairs[i] != b.RemovedPairs[i] {
+			t.Fatal("same seed produced different fault sets")
+		}
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	if _, err := NewGraph("bad", 2, []int{0, 5}, nil); err == nil {
+		t.Fatal("invalid terminal router accepted")
+	}
+	if _, err := NewGraph("bad", 2, []int{0, 1}, []Link{{Src: 0, SrcPort: 1, Dst: 5, DstPort: 1, Latency: 1}}); err == nil {
+		t.Fatal("invalid link dst accepted")
+	}
+	if _, err := NewGraph("bad", 2, []int{0, 1}, []Link{{Src: 0, SrcPort: 1, Dst: 1, DstPort: 1, Latency: 0}}); err == nil {
+		t.Fatal("zero latency accepted")
+	}
+	if _, err := NewGraph("bad", 2, []int{0, 1}, []Link{{Src: 0, SrcPort: 0, Dst: 1, DstPort: 1, Latency: 1}}); err == nil {
+		t.Fatal("link on terminal port accepted")
+	}
+	if _, err := NewGraph("bad", 2, []int{0, 1}, []Link{
+		{Src: 0, SrcPort: 1, Dst: 1, DstPort: 1, Latency: 1},
+		{Src: 0, SrcPort: 1, Dst: 1, DstPort: 2, Latency: 1},
+	}); err == nil {
+		t.Fatal("duplicate source port accepted")
+	}
+}
+
+func TestDragonflyValidation(t *testing.T) {
+	if _, err := NewDragonfly(2, 2, 1, 9, 1, 3); err == nil {
+		t.Fatal("under-connected dragonfly accepted")
+	}
+	if _, err := NewDragonfly(0, 2, 1, 2, 1, 3); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+// Property: in any mesh, distance is symmetric and satisfies the triangle
+// inequality.
+func TestMeshDistanceMetricProperties(t *testing.T) {
+	m, _ := NewMesh(7, 5, 1)
+	n := m.NumRouters()
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%n, int(b)%n, int(c)%n
+		if m.Distance(x, y) != m.Distance(y, x) {
+			return false
+		}
+		return m.Distance(x, z) <= m.Distance(x, y)+m.Distance(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustMesh(t *testing.T, x, y int) *Mesh {
+	t.Helper()
+	m, err := NewMesh(x, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustDfly(t *testing.T) *Dragonfly {
+	t.Helper()
+	d, err := NewDragonfly(2, 4, 2, 9, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,165 @@
+package traffic
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// TraceEntry is one packet injection of a recorded workload.
+type TraceEntry struct {
+	Cycle  int64
+	Src    int
+	Dst    int
+	Length int
+	VNet   int
+}
+
+// Trace is a replayable packet workload. Traces make experiments exactly
+// repeatable across configurations: the same injection sequence can drive
+// a west-first baseline and a SPIN configuration, removing generator
+// noise from comparisons.
+type Trace struct {
+	Entries []TraceEntry
+}
+
+// Save writes the trace as CSV: cycle,src,dst,length,vnet.
+func (t *Trace) Save(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, e := range t.Entries {
+		rec := []string{
+			strconv.FormatInt(e.Cycle, 10),
+			strconv.Itoa(e.Src),
+			strconv.Itoa(e.Dst),
+			strconv.Itoa(e.Length),
+			strconv.Itoa(e.VNet),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadTrace parses a CSV trace.
+func LoadTrace(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	var t Trace
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("traffic: bad trace: %w", err)
+		}
+		var e TraceEntry
+		vals := make([]int64, 5)
+		for i, f := range rec {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: bad trace field %q: %w", f, err)
+			}
+			vals[i] = v
+		}
+		e.Cycle, e.Src, e.Dst, e.Length, e.VNet =
+			vals[0], int(vals[1]), int(vals[2]), int(vals[3]), int(vals[4])
+		t.Entries = append(t.Entries, e)
+	}
+	sort.SliceStable(t.Entries, func(i, j int) bool { return t.Entries[i].Cycle < t.Entries[j].Cycle })
+	return &t, nil
+}
+
+// Validate checks every entry against a topology's terminal count and
+// packet limits, so malformed traces fail with an error instead of a
+// panic deep inside the simulator.
+func (t *Trace) Validate(terminals, vnets, maxLen int) error {
+	for i, e := range t.Entries {
+		switch {
+		case e.Src < 0 || e.Src >= terminals:
+			return fmt.Errorf("traffic: trace entry %d: src %d outside [0,%d)", i, e.Src, terminals)
+		case e.Dst < 0 || e.Dst >= terminals:
+			return fmt.Errorf("traffic: trace entry %d: dst %d outside [0,%d)", i, e.Dst, terminals)
+		case e.Src == e.Dst:
+			return fmt.Errorf("traffic: trace entry %d: self-destined packet at node %d", i, e.Src)
+		case e.Length <= 0 || e.Length > maxLen:
+			return fmt.Errorf("traffic: trace entry %d: length %d outside (0,%d]", i, e.Length, maxLen)
+		case e.VNet < 0 || e.VNet >= vnets:
+			return fmt.Errorf("traffic: trace entry %d: vnet %d outside [0,%d)", i, e.VNet, vnets)
+		case e.Cycle < 0:
+			return fmt.Errorf("traffic: trace entry %d: negative cycle", i)
+		}
+	}
+	return nil
+}
+
+// Replay implements sim.TrafficGen by injecting the trace's packets at
+// their recorded cycles.
+type Replay struct {
+	Trace *Trace
+	// next[src] indexes the next entry per source; built lazily.
+	bySrc map[int][]TraceEntry
+	next  map[int]int
+}
+
+// Name implements sim.TrafficGen.
+func (r *Replay) Name() string { return "trace_replay" }
+
+// Generate implements sim.TrafficGen.
+func (r *Replay) Generate(cycle int64, src int, _ *rand.Rand, emit func(sim.PacketSpec)) {
+	if r.bySrc == nil {
+		r.bySrc = map[int][]TraceEntry{}
+		r.next = map[int]int{}
+		for _, e := range r.Trace.Entries {
+			r.bySrc[e.Src] = append(r.bySrc[e.Src], e)
+		}
+	}
+	entries := r.bySrc[src]
+	i := r.next[src]
+	for i < len(entries) && entries[i].Cycle <= cycle {
+		e := entries[i]
+		emit(sim.PacketSpec{Dst: e.Dst, Length: e.Length, VNet: e.VNet})
+		i++
+	}
+	r.next[src] = i
+}
+
+// Done reports whether every entry has been injected.
+func (r *Replay) Done() bool {
+	if r.bySrc == nil {
+		return len(r.Trace.Entries) == 0
+	}
+	for src, entries := range r.bySrc {
+		if r.next[src] < len(entries) {
+			return false
+		}
+	}
+	return true
+}
+
+// Recorder wraps a TrafficGen and captures everything it emits, producing
+// a Trace that replays the same workload.
+type Recorder struct {
+	Gen   sim.TrafficGen
+	Trace Trace
+}
+
+// Name implements sim.TrafficGen.
+func (rec *Recorder) Name() string { return rec.Gen.Name() + "+record" }
+
+// Generate implements sim.TrafficGen.
+func (rec *Recorder) Generate(cycle int64, src int, rng *rand.Rand, emit func(sim.PacketSpec)) {
+	rec.Gen.Generate(cycle, src, rng, func(spec sim.PacketSpec) {
+		rec.Trace.Entries = append(rec.Trace.Entries, TraceEntry{
+			Cycle: cycle, Src: src, Dst: spec.Dst, Length: spec.Length, VNet: spec.VNet,
+		})
+		emit(spec)
+	})
+}

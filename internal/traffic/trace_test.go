@@ -1,0 +1,173 @@
+package traffic
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	tr := &Trace{Entries: []TraceEntry{
+		{Cycle: 3, Src: 1, Dst: 2, Length: 5, VNet: 0},
+		{Cycle: 1, Src: 0, Dst: 3, Length: 1, VNet: 2},
+	}}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("entries = %d", len(got.Entries))
+	}
+	// LoadTrace sorts by cycle.
+	if got.Entries[0].Cycle != 1 || got.Entries[1].Cycle != 3 {
+		t.Fatalf("not sorted: %+v", got.Entries)
+	}
+	if got.Entries[1] != tr.Entries[0] {
+		t.Fatalf("round trip mismatch: %+v", got.Entries[1])
+	}
+}
+
+func TestLoadTraceRejectsGarbage(t *testing.T) {
+	if _, err := LoadTrace(strings.NewReader("1,2,3\n")); err == nil {
+		t.Fatal("short record accepted")
+	}
+	if _, err := LoadTrace(strings.NewReader("a,b,c,d,e\n")); err == nil {
+		t.Fatal("non-numeric record accepted")
+	}
+}
+
+func TestRecorderThenReplayIdentical(t *testing.T) {
+	m, _ := topology.NewMesh(4, 4, 1)
+	gen := &Synthetic{Pattern: Uniform(16), Rate: 0.2, VNets: 2}
+	rec := &Recorder{Gen: gen}
+	rng := rand.New(rand.NewSource(7))
+	for c := int64(0); c < 2000; c++ {
+		for src := 0; src < 16; src++ {
+			rec.Generate(c, src, rng, func(sim.PacketSpec) {})
+		}
+	}
+	if len(rec.Trace.Entries) == 0 {
+		t.Fatal("nothing recorded")
+	}
+	// Replay must emit exactly the recorded specs at the recorded cycles.
+	rp := &Replay{Trace: &rec.Trace}
+	var replayed []TraceEntry
+	for c := int64(0); c < 2100; c++ {
+		for src := 0; src < 16; src++ {
+			rp.Generate(c, src, nil, func(spec sim.PacketSpec) {
+				replayed = append(replayed, TraceEntry{Cycle: c, Src: src, Dst: spec.Dst, Length: spec.Length, VNet: spec.VNet})
+			})
+		}
+	}
+	if !rp.Done() {
+		t.Fatal("replay not done")
+	}
+	if len(replayed) != len(rec.Trace.Entries) {
+		t.Fatalf("replayed %d, recorded %d", len(replayed), len(rec.Trace.Entries))
+	}
+	count := map[TraceEntry]int{}
+	for _, e := range rec.Trace.Entries {
+		count[e]++
+	}
+	for _, e := range replayed {
+		count[e]--
+	}
+	for e, c := range count {
+		if c != 0 {
+			t.Fatalf("entry %+v mismatch (%d)", e, c)
+		}
+	}
+	_ = m
+}
+
+func TestReplayDrivesSimulationDeterministically(t *testing.T) {
+	m, _ := topology.NewMesh(4, 4, 1)
+	tr := &Trace{}
+	for i := 0; i < 50; i++ {
+		tr.Entries = append(tr.Entries, TraceEntry{Cycle: int64(i * 3), Src: i % 16, Dst: (i*7 + 1) % 16, Length: 1 + (i%2)*4})
+	}
+	// Drop self-destined entries.
+	kept := tr.Entries[:0]
+	for _, e := range tr.Entries {
+		if e.Src != e.Dst {
+			kept = append(kept, e)
+		}
+	}
+	tr.Entries = kept
+	run := func() int64 {
+		n, err := sim.NewNetwork(sim.Config{
+			Topology:   m,
+			Routing:    &xyForTest{m: m},
+			Traffic:    &Replay{Trace: tr},
+			VCsPerVNet: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(1000)
+		if n.Stats().Injected != int64(len(tr.Entries)) {
+			t.Fatalf("injected %d, trace has %d", n.Stats().Injected, len(tr.Entries))
+		}
+		if !n.Drain(10000) {
+			t.Fatal("replay run failed to drain")
+		}
+		return n.Stats().LatencySum
+	}
+	if run() != run() {
+		t.Fatal("trace replay not deterministic")
+	}
+}
+
+// xyForTest avoids an import cycle with the routing package (which
+// imports traffic in its own tests).
+type xyForTest struct {
+	sim.BaseRouting
+	m *topology.Mesh
+}
+
+func (x *xyForTest) Name() string { return "xy_test" }
+
+func (x *xyForTest) Route(r *sim.Router, _ int, p *sim.Packet, buf []sim.PortRequest) []sim.PortRequest {
+	cx, cy := x.m.Coords(r.ID)
+	dx, dy := x.m.Coords(p.RouteDst())
+	var port int
+	switch {
+	case dx > cx:
+		port = topology.MeshPort(topology.East)
+	case dx < cx:
+		port = topology.MeshPort(topology.West)
+	case dy > cy:
+		port = topology.MeshPort(topology.North)
+	default:
+		port = topology.MeshPort(topology.South)
+	}
+	return append(buf, sim.PortRequest{Port: port, VCMask: sim.AllVCs})
+}
+
+func TestTraceValidate(t *testing.T) {
+	good := &Trace{Entries: []TraceEntry{{Cycle: 0, Src: 0, Dst: 1, Length: 5, VNet: 0}}}
+	if err := good.Validate(4, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Trace{
+		{Entries: []TraceEntry{{Src: 9, Dst: 1, Length: 1}}},
+		{Entries: []TraceEntry{{Src: 0, Dst: 9, Length: 1}}},
+		{Entries: []TraceEntry{{Src: 1, Dst: 1, Length: 1}}},
+		{Entries: []TraceEntry{{Src: 0, Dst: 1, Length: 9}}},
+		{Entries: []TraceEntry{{Src: 0, Dst: 1, Length: 1, VNet: 3}}},
+		{Entries: []TraceEntry{{Cycle: -1, Src: 0, Dst: 1, Length: 1}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(4, 1, 5); err == nil {
+			t.Fatalf("bad trace %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package spin is a Go reproduction of "Synchronized Progress in
+// Interconnection Networks (SPIN): A New Theory for Deadlock Freedom"
+// (Ramrakhyani, Gratz, Krishna — ISCA 2018).
+//
+// It bundles a cycle-accurate virtual-cut-through network simulator, the
+// topologies and routing algorithms of the paper's evaluation, all four
+// prior deadlock-freedom frameworks (Dally turn models and VC ladders,
+// Duato escape VCs, bubble flow control, deflection routing), and SPIN
+// itself: a distributed deadlock-recovery protocol that detects a cyclic
+// buffer dependency with a timeout-triggered probe, announces a common
+// spin cycle with a move message, and resolves the deadlock by moving
+// every packet of the cycle forward one hop simultaneously.
+//
+// The top-level API builds simulations from declarative Config values:
+//
+//	sim, err := spin.New(spin.Config{
+//	    Topology: "mesh:8x8",
+//	    Routing:  "favors_min",
+//	    Scheme:   "spin",
+//	    VCsPerVNet: 1,
+//	    Traffic:  "uniform_random",
+//	    Rate:     0.30,
+//	})
+//	sim.Run(100_000)
+//	fmt.Println(sim.AvgLatency(), sim.Throughput())
+//
+// The named configurations of the paper's Table III are available through
+// Preset. Lower-level control (custom topologies, hand-injected packets,
+// the deadlock oracle) is reachable through the Network method.
+package spin
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"math/rand"
+
+	"repro/internal/bubble"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	spinimpl "repro/internal/spin"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Config declares a simulation.
+type Config struct {
+	// Topology: "mesh:XxY", "torus:XxY", "ring:N", "dragonfly:p,a,h,g",
+	// "dragonfly1024", "irregular:XxY:F" (F faulty links),
+	// "jellyfish:N,P,DEG" (random regular graph), "fattree:E,S,P"
+	// (two-level folded Clos).
+	Topology string
+	// Routing: "xy", "westfirst", "min_adaptive", "escape_vc",
+	// "favors_min", "favors_nmin", "dfly_min", "dfly_min_ladder",
+	// "ugal_ladder", "ugal_spin".
+	Routing string
+	// Scheme: "" (none), "spin", "static_bubble", "ring_bubble".
+	Scheme string
+	// Traffic: a synthetic pattern name ("uniform_random",
+	// "bit_complement", "transpose", "tornado", "neighbor", "bit_reverse",
+	// "bit_rotation", "shuffle") or "" for manual injection.
+	Traffic string
+	// Rate is offered load in flits/terminal/cycle.
+	Rate float64
+	// DataFrac is the long-packet fraction (default 0.5 of packets are
+	// 5-flit data, the rest 1-flit control, as in the paper).
+	DataFrac float64
+
+	VNets      int   // default 1
+	VCsPerVNet int   // default 1
+	VCDepth    int   // default 5
+	Seed       int64 // deterministic seed
+	Warmup     int64 // cycles before measurement starts
+
+	// TDD overrides SPIN's (and Static Bubble's) detection threshold
+	// (default 128, the paper's value).
+	TDD int64
+	// SPIN fine-tuning (zero values = paper defaults).
+	SPIN spinimpl.Config
+}
+
+// Simulation is a runnable network instance.
+type Simulation struct {
+	cfg  Config
+	net  *sim.Network
+	topo topology.Topology
+	spin *spinimpl.Scheme
+}
+
+// New builds a Simulation from cfg.
+func New(cfg Config) (*Simulation, error) {
+	topo, err := BuildTopology(cfg.Topology, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	vcs := cfg.VCsPerVNet
+	if vcs == 0 {
+		vcs = 1
+	}
+	s := &Simulation{cfg: cfg, topo: topo}
+	var scheme sim.Scheme
+	var forcedRouting sim.RoutingAlgorithm
+	switch cfg.Scheme {
+	case "", "none":
+	case "spin":
+		sc := cfg.SPIN
+		if cfg.TDD != 0 {
+			sc.TDD = cfg.TDD
+		}
+		s.spin = spinimpl.New(sc)
+		scheme = s.spin
+	case "static_bubble":
+		m, ok := topo.(*topology.Mesh)
+		if !ok {
+			return nil, fmt.Errorf("spin: static_bubble needs a mesh topology")
+		}
+		sb := &bubble.StaticBubble{Mesh: m, TDD: cfg.TDD}
+		scheme = sb
+		forcedRouting = sb.Routing(vcs)
+	case "ring_bubble":
+		m, ok := topo.(*topology.Mesh)
+		if !ok || !m.Torus {
+			return nil, fmt.Errorf("spin: ring_bubble needs a torus topology")
+		}
+		scheme = &bubble.RingBubble{Mesh: m}
+	default:
+		return nil, fmt.Errorf("spin: unknown scheme %q", cfg.Scheme)
+	}
+	var alg sim.RoutingAlgorithm
+	if forcedRouting != nil {
+		alg = forcedRouting
+	} else {
+		alg, err = BuildRouting(cfg.Routing, topo, vcs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var gen sim.TrafficGen
+	if cfg.Traffic != "" {
+		pat, err := traffic.ByName(cfg.Traffic, topo)
+		if err != nil {
+			return nil, err
+		}
+		gen = &traffic.Synthetic{Pattern: pat, Rate: cfg.Rate, DataFrac: cfg.DataFrac, VNets: max(1, cfg.VNets)}
+	}
+	net, err := sim.NewNetwork(sim.Config{
+		Topology:   topo,
+		Routing:    alg,
+		Scheme:     scheme,
+		Traffic:    gen,
+		VNets:      cfg.VNets,
+		VCsPerVNet: vcs,
+		VCDepth:    cfg.VCDepth,
+		Seed:       cfg.Seed,
+		StatsStart: cfg.Warmup,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.net = net
+	return s, nil
+}
+
+// BuildTopology parses a topology spec string.
+func BuildTopology(spec string, seed int64) (topology.Topology, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("spin: empty topology spec")
+	}
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "mesh", "torus", "irregular":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("spin: %s needs dimensions, e.g. %q", parts[0], parts[0]+":8x8")
+		}
+		x, y, err := parseXY(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		switch parts[0] {
+		case "mesh":
+			return topology.NewMesh(x, y, 1)
+		case "torus":
+			return topology.NewTorus(x, y, 1)
+		default:
+			faults := 4
+			if len(parts) >= 3 {
+				f, err := strconv.Atoi(parts[2])
+				if err != nil {
+					return nil, fmt.Errorf("spin: bad fault count %q", parts[2])
+				}
+				faults = f
+			}
+			return topology.NewIrregularMesh(x, y, 1, faults, rand.New(rand.NewSource(seed+1)))
+		}
+	case "ring":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("spin: ring needs a size, e.g. \"ring:8\"")
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return topology.NewRing(n, 1, true)
+	case "dragonfly":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("spin: dragonfly needs p,a,h,g")
+		}
+		nums := strings.Split(parts[1], ",")
+		if len(nums) != 4 {
+			return nil, fmt.Errorf("spin: dragonfly needs p,a,h,g, got %q", parts[1])
+		}
+		v := make([]int, 4)
+		for i, s := range nums {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return nil, err
+			}
+			v[i] = n
+		}
+		return topology.NewDragonfly(v[0], v[1], v[2], v[3], 1, 3)
+	case "dragonfly1024":
+		return topology.NewDragonfly(4, 8, 4, 32, 1, 3)
+	case "jellyfish":
+		v, err := parseInts(parts, 3, "jellyfish:N,P,DEG")
+		if err != nil {
+			return nil, err
+		}
+		return topology.NewJellyfish(v[0], v[1], v[2], 1, rand.New(rand.NewSource(seed+2)))
+	case "fattree":
+		v, err := parseInts(parts, 3, "fattree:E,S,P")
+		if err != nil {
+			return nil, err
+		}
+		return topology.NewFatTree(v[0], v[1], v[2], 1)
+	}
+	return nil, fmt.Errorf("spin: unknown topology %q", spec)
+}
+
+// parseInts parses "name:a,b,c"-style specs.
+func parseInts(parts []string, n int, usage string) ([]int, error) {
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("spin: topology needs parameters, e.g. %q", usage)
+	}
+	nums := strings.Split(parts[1], ",")
+	if len(nums) != n {
+		return nil, fmt.Errorf("spin: expected %q, got %q", usage, parts[1])
+	}
+	out := make([]int, n)
+	for i, f := range nums {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseXY(s string) (int, int, error) {
+	xy := strings.SplitN(s, "x", 2)
+	if len(xy) != 2 {
+		return 0, 0, fmt.Errorf("spin: bad dimensions %q", s)
+	}
+	x, err := strconv.Atoi(xy[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	y, err := strconv.Atoi(xy[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return x, y, nil
+}
+
+// BuildRouting resolves a routing algorithm by name for a topology.
+func BuildRouting(name string, topo topology.Topology, vcs int) (sim.RoutingAlgorithm, error) {
+	mesh, isMesh := topo.(*topology.Mesh)
+	dfly, isDfly := topo.(*topology.Dragonfly)
+	switch name {
+	case "xy":
+		if !isMesh {
+			return nil, fmt.Errorf("spin: xy routing needs a mesh")
+		}
+		return &routing.XY{Mesh: mesh}, nil
+	case "westfirst":
+		if !isMesh {
+			return nil, fmt.Errorf("spin: westfirst routing needs a mesh")
+		}
+		return &routing.WestFirst{Mesh: mesh}, nil
+	case "min_adaptive", "":
+		return &routing.MinAdaptive{Topo: topo}, nil
+	case "escape_vc":
+		if !isMesh {
+			return nil, fmt.Errorf("spin: escape_vc routing needs a mesh")
+		}
+		if vcs < 2 {
+			return nil, fmt.Errorf("spin: escape_vc needs >= 2 VCs per vnet")
+		}
+		return &routing.EscapeVC{Mesh: mesh, VCs: vcs}, nil
+	case "favors_min":
+		return &routing.FAvORS{Topo: topo}, nil
+	case "favors_nmin":
+		return &routing.FAvORS{Topo: topo, NonMinimal: true}, nil
+	case "dfly_min", "dfly_min_ladder":
+		if !isDfly {
+			return nil, fmt.Errorf("spin: %s needs a dragonfly", name)
+		}
+		return &routing.DflyMinimal{Dfly: dfly, VCLadder: name == "dfly_min_ladder", VCs: vcs}, nil
+	case "ugal_ladder", "ugal_spin":
+		if !isDfly {
+			return nil, fmt.Errorf("spin: %s needs a dragonfly", name)
+		}
+		return &routing.UGAL{Dfly: dfly, VCLadder: name == "ugal_ladder", VCs: vcs}, nil
+	}
+	return nil, fmt.Errorf("spin: unknown routing %q", name)
+}
+
+// Run advances the simulation by cycles.
+func (s *Simulation) Run(cycles int64) { s.net.Run(cycles) }
+
+// Drain stops traffic and runs until empty (or the budget ends),
+// reporting whether everything was delivered.
+func (s *Simulation) Drain(maxCycles int64) bool { return s.net.Drain(maxCycles) }
+
+// Network exposes the underlying simulator for advanced use (manual
+// injection, the deadlock oracle, per-router state).
+func (s *Simulation) Network() *sim.Network { return s.net }
+
+// Topology reports the simulated topology.
+func (s *Simulation) Topology() topology.Topology { return s.topo }
+
+// Stats returns the raw counters.
+func (s *Simulation) Stats() *sim.Stats { return s.net.Stats() }
+
+// AvgLatency reports mean packet latency over the measurement window.
+func (s *Simulation) AvgLatency() float64 { return s.net.Stats().AvgLatency() }
+
+// Throughput reports accepted flits/terminal/cycle over the measurement
+// window.
+func (s *Simulation) Throughput() float64 {
+	return s.net.Stats().Throughput(s.topo.NumTerminals())
+}
+
+// Spins reports how many synchronized movements were performed.
+func (s *Simulation) Spins() int64 { return s.net.Stats().Spins }
+
+// Deadlocked consults the global oracle (measurement/testing aid — no
+// distributed scheme uses it).
+func (s *Simulation) Deadlocked() bool { return s.net.Deadlocked() }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
