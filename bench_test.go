@@ -7,17 +7,59 @@ package spin_test
 // so `go test -bench .` regenerates the whole evaluation.
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	spin "repro"
 	"repro/internal/exp"
+	"repro/internal/runner"
 	spinimpl "repro/internal/spin"
 )
 
-// benchOpts keeps benchmark sweeps fast while preserving shape.
+// benchOpts keeps benchmark sweeps fast while preserving shape. Sweeps
+// run on the parallel runner at the default worker count (GOMAXPROCS);
+// BenchmarkFig7Workers isolates the scaling behaviour.
 func benchOpts() exp.Options {
 	return exp.Options{Cycles: 4000, Warmup: 400, Small: true, Seed: 9}
+}
+
+// BenchmarkFig7Workers measures the sweep engine's scaling: the same
+// figure at 1, 2, 4 and all-core worker counts. Results are identical
+// across sub-benchmarks; only wall-clock should differ.
+func BenchmarkFig7Workers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			o := benchOpts()
+			o.Workers = workers
+			for i := 0; i < b.N; i++ {
+				figs, err := exp.Fig7(context.Background(), o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(figs)), "patterns")
+			}
+		})
+	}
+}
+
+// BenchmarkRunnerOverhead measures the job engine's fixed cost with
+// trivial jobs — the floor under every parallel sweep.
+func BenchmarkRunnerOverhead(b *testing.B) {
+	jobs := make([]runner.Job[int64], 256)
+	for i := range jobs {
+		jobs[i] = runner.Job[int64]{
+			Key: fmt.Sprintf("noop/%d", i),
+			Run: func(_ context.Context, seed int64) (int64, error) { return seed, nil },
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(context.Background(), runner.Options{Seed: 9}, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkTable1(b *testing.B) {
@@ -46,7 +88,7 @@ func BenchmarkTable3(b *testing.B) {
 
 func BenchmarkFig3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig3(benchOpts())
+		res, err := exp.Fig3(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +106,7 @@ func BenchmarkFig6(b *testing.B) {
 	o := benchOpts()
 	o.Cycles = 2500
 	for i := 0; i < b.N; i++ {
-		figs, err := exp.Fig6(o)
+		figs, err := exp.Fig6(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +116,7 @@ func BenchmarkFig6(b *testing.B) {
 
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := exp.Fig7(benchOpts())
+		figs, err := exp.Fig7(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +126,7 @@ func BenchmarkFig7(b *testing.B) {
 
 func BenchmarkFig8a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig8a(benchOpts())
+		res, err := exp.Fig8a(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +136,7 @@ func BenchmarkFig8a(b *testing.B) {
 
 func BenchmarkFig8b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig8b(benchOpts())
+		res, err := exp.Fig8b(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +146,7 @@ func BenchmarkFig8b(b *testing.B) {
 
 func BenchmarkFig9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig9(benchOpts())
+		res, err := exp.Fig9(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -291,7 +333,7 @@ func benchName(prefix string, v int64) string {
 // MinAdaptive+SPIN on a torus (extension experiment).
 func BenchmarkExtensionTorus(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Torus(benchOpts())
+		res, err := exp.Torus(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -302,7 +344,7 @@ func BenchmarkExtensionTorus(b *testing.B) {
 // BenchmarkExtensionDeflection quantifies Table I's deflection row.
 func BenchmarkExtensionDeflection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Deflection(benchOpts())
+		res, err := exp.Deflection(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,20 +1,33 @@
 // Command spinsim runs one network configuration and prints its
 // performance and recovery statistics.
 //
+// With -seeds N (N > 1) it runs N replicates of the configuration on the
+// internal/runner worker pool — replicate seeds derive from -seed and
+// the replicate index — and reports per-replicate and aggregate numbers,
+// the cheap way to put confidence intervals on a single design point.
+// -timeout bounds each run, -progress reports completions, and Ctrl-C
+// cancels promptly.
+//
 // Usage:
 //
 //	spinsim -topo mesh:8x8 -routing favors_min -scheme spin -vcs 1 \
 //	        -traffic uniform_random -rate 0.3 -cycles 100000
 //	spinsim -preset mesh_favors_min -traffic transpose -rate 0.25
+//	spinsim -preset mesh_favors_min -rate 0.3 -seeds 8 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"os/signal"
+	"time"
 
 	spin "repro"
+	"repro/internal/runner"
 	"repro/internal/traffic"
 )
 
@@ -22,23 +35,29 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spinsim: ")
 	var (
-		preset  = flag.String("preset", "", "named configuration from Table III (see spintables -table 3)")
-		topo    = flag.String("topo", "mesh:8x8", "topology spec (mesh:XxY, torus:XxY, ring:N, dragonfly:p,a,h,g, dragonfly1024, irregular:XxY:F)")
-		routing = flag.String("routing", "min_adaptive", "routing algorithm")
-		scheme  = flag.String("scheme", "", "deadlock scheme: spin, static_bubble, ring_bubble or empty")
-		vcs     = flag.Int("vcs", 1, "VCs per virtual network")
-		vnets   = flag.Int("vnets", 1, "virtual networks")
-		pattern = flag.String("traffic", "uniform_random", "synthetic traffic pattern")
-		rate    = flag.Float64("rate", 0.1, "offered load (flits/node/cycle)")
-		cycles  = flag.Int64("cycles", 100000, "simulated cycles")
-		warmup  = flag.Int64("warmup", 10000, "warmup cycles before measurement")
-		seed    = flag.Int64("seed", 1, "random seed")
-		tdd     = flag.Int64("tdd", 0, "deadlock detection threshold (0 = default 128)")
-		drain   = flag.Bool("drain", false, "after the run, stop traffic and drain (liveness check)")
-		record  = flag.String("record", "", "record the injected workload to a CSV trace file")
-		replay  = flag.String("replay", "", "drive the run from a CSV trace file instead of -traffic")
+		preset   = flag.String("preset", "", "named configuration from Table III (see spintables -table 3)")
+		topo     = flag.String("topo", "mesh:8x8", "topology spec (mesh:XxY, torus:XxY, ring:N, dragonfly:p,a,h,g, dragonfly1024, irregular:XxY:F)")
+		routing  = flag.String("routing", "min_adaptive", "routing algorithm")
+		scheme   = flag.String("scheme", "", "deadlock scheme: spin, static_bubble, ring_bubble or empty")
+		vcs      = flag.Int("vcs", 1, "VCs per virtual network")
+		vnets    = flag.Int("vnets", 1, "virtual networks")
+		pattern  = flag.String("traffic", "uniform_random", "synthetic traffic pattern")
+		rate     = flag.Float64("rate", 0.1, "offered load (flits/node/cycle)")
+		cycles   = flag.Int64("cycles", 100000, "simulated cycles")
+		warmup   = flag.Int64("warmup", 10000, "warmup cycles before measurement")
+		seed     = flag.Int64("seed", 1, "random seed (base seed when -seeds > 1)")
+		tdd      = flag.Int64("tdd", 0, "deadlock detection threshold (0 = default 128)")
+		drain    = flag.Bool("drain", false, "after the run, stop traffic and drain (liveness check)")
+		record   = flag.String("record", "", "record the injected workload to a CSV trace file")
+		replay   = flag.String("replay", "", "drive the run from a CSV trace file instead of -traffic")
+		seeds    = flag.Int("seeds", 1, "replicate count: run the configuration under N derived seeds")
+		workers  = flag.Int("workers", 0, "concurrent replicates when -seeds > 1 (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "per-run time budget (0 = unlimited), e.g. 2m")
+		progress = flag.Bool("progress", false, "report run completions (and single-run progress) to stderr")
 	)
 	flag.Parse()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 
 	cfg := spin.Config{
 		Topology:   *topo,
@@ -63,6 +82,13 @@ func main() {
 		cfg.Warmup = *warmup
 		cfg.Seed = *seed
 		cfg.TDD = *tdd
+	}
+	if *seeds > 1 {
+		if *record != "" || *replay != "" || *drain {
+			log.Fatal("-seeds > 1 is incompatible with -record/-replay/-drain")
+		}
+		runReplicates(ctx, cfg, *cycles, *seeds, *workers, *timeout, *progress)
+		return
 	}
 	if *replay != "" {
 		cfg.Traffic = "" // the trace drives injection
@@ -92,7 +118,9 @@ func main() {
 		recorder = &traffic.Recorder{Gen: s.Network().Config().Traffic}
 		s.Network().SetTraffic(recorder)
 	}
-	s.Run(*cycles)
+	if err := runOne(ctx, s, *cycles, *timeout, *progress); err != nil {
+		log.Fatal(err)
+	}
 	if recorder != nil {
 		f, err := os.Create(*record)
 		if err != nil {
@@ -129,6 +157,95 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runOne advances a single simulation through the runner so -timeout and
+// Ctrl-C cancellation apply, printing coarse progress when asked.
+func runOne(ctx context.Context, s *spin.Simulation, cycles int64, timeout time.Duration, progress bool) error {
+	job := runner.Job[struct{}]{Key: "run", Run: func(ctx context.Context, _ int64) (struct{}, error) {
+		var done, lastPct int64
+		return struct{}{}, runner.Cycles(ctx, func(n int64) {
+			s.Run(n)
+			done += n
+			if pct := done * 100 / cycles; progress && pct >= lastPct+10 {
+				lastPct = pct - pct%10
+				fmt.Fprintf(os.Stderr, "spinsim: %d%% (%d/%d cycles)\n", lastPct, done, cycles)
+			}
+		}, cycles)
+	}}
+	_, err := runner.Run(ctx, runner.Options{Workers: 1, Timeout: timeout}, []runner.Job[struct{}]{job})
+	return err
+}
+
+// replicate is one seed's headline metrics.
+type replicate struct {
+	Seed       int64
+	AvgLatency float64
+	Throughput float64
+	Spins      int64
+}
+
+// runReplicates runs cfg under n derived seeds in parallel and prints
+// per-replicate rows plus mean ± stddev aggregates.
+func runReplicates(ctx context.Context, cfg spin.Config, cycles int64, n, workers int, timeout time.Duration, progress bool) {
+	jobs := make([]runner.Job[replicate], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = runner.Job[replicate]{
+			Key: fmt.Sprintf("rep/%d", i),
+			Run: func(ctx context.Context, seed int64) (replicate, error) {
+				c := cfg
+				c.Seed = seed
+				s, err := spin.New(c)
+				if err != nil {
+					return replicate{}, err
+				}
+				if err := runner.Cycles(ctx, s.Run, cycles); err != nil {
+					return replicate{}, err
+				}
+				return replicate{Seed: seed, AvgLatency: s.AvgLatency(), Throughput: s.Throughput(), Spins: s.Spins()}, nil
+			},
+		}
+	}
+	o := runner.Options{Workers: workers, Seed: cfg.Seed, Timeout: timeout}
+	if progress {
+		o.Progress = func(e runner.Event) {
+			fmt.Fprintf(os.Stderr, "spinsim: [%d/%d] %s (%.1fs)\n", e.Done, e.Total, e.Key, e.Elapsed.Seconds())
+		}
+	}
+	reps, err := runner.Run(ctx, o, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("config          %s routing=%s scheme=%s traffic=%s rate=%.3f cycles=%d\n",
+		cfg.Topology, cfg.Routing, orNone(cfg.Scheme), cfg.Traffic, cfg.Rate, cycles)
+	fmt.Printf("%-6s %20s %12s %12s %8s\n", "rep", "seed", "avg_latency", "throughput", "spins")
+	for i, r := range reps {
+		fmt.Printf("%-6d %20d %12.1f %12.4f %8d\n", i, r.Seed, r.AvgLatency, r.Throughput, r.Spins)
+	}
+	lat := make([]float64, n)
+	tp := make([]float64, n)
+	for i, r := range reps {
+		lat[i], tp[i] = r.AvgLatency, r.Throughput
+	}
+	lm, ls := meanStd(lat)
+	tm, ts := meanStd(tp)
+	fmt.Printf("%-6s %20s %7.1f±%-4.1f %7.4f±%-.4f\n", "agg", fmt.Sprintf("%d seeds", n), lm, ls, tm, ts)
+}
+
+// meanStd reports mean and sample standard deviation.
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)-1))
 }
 
 func orNone(s string) string {

@@ -1,6 +1,12 @@
 // Command spinsweep regenerates the paper's figures: it runs the
 // parameter sweeps behind each plot and prints the data series.
 //
+// Sweeps run on the internal/runner worker pool: -workers bounds the
+// number of concurrent simulation points (default: all cores), -timeout
+// bounds each point, and -progress streams per-point completions to
+// stderr. Results are bit-identical at any worker count for a given
+// -seed. Ctrl-C cancels the sweep promptly.
+//
 // Usage:
 //
 //	spinsweep -fig 3            # deadlock onset rates
@@ -10,34 +16,50 @@
 //	spinsweep -fig 8b           # link utilisation breakdown
 //	spinsweep -fig 9            # spins and false positives
 //	spinsweep -fig 10           # area overheads
-//	spinsweep -fig all
+//	spinsweep -fig all -workers 8
 //	spinsweep -fig 7 -cycles 100000 -full   # paper-scale run
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
+	"sync"
 
 	"repro/internal/exp"
+	"repro/internal/runner"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spinsweep: ")
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 3, 6, 7, 8a, 8b, 9, 10, costs, torus, deflection, all")
-		cycles = flag.Int64("cycles", 0, "cycles per point (0 = default 20000)")
-		warmup = flag.Int64("warmup", 0, "warmup cycles (0 = cycles/10)")
-		full   = flag.Bool("full", false, "full-size topologies (8x8 mesh, 1024-node dragonfly); default uses scaled-down instances")
-		seed   = flag.Int64("seed", 1, "random seed")
-		asJSON = flag.Bool("json", false, "emit results as JSON instead of text")
+		fig      = flag.String("fig", "all", "figure to regenerate: 3, 6, 7, 8a, 8b, 9, 10, costs, torus, deflection, all")
+		cycles   = flag.Int64("cycles", 0, "cycles per point (0 = default 20000)")
+		warmup   = flag.Int64("warmup", 0, "warmup cycles (0 = cycles/10, negative = no warmup)")
+		full     = flag.Bool("full", false, "full-size topologies (8x8 mesh, 1024-node dragonfly); default uses scaled-down instances")
+		seed     = flag.Int64("seed", 1, "base random seed; per-point seeds derive from it and each point's key")
+		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text")
+		workers  = flag.Int("workers", 0, "concurrent simulation points (0 = GOMAXPROCS); never changes results")
+		timeout  = flag.Duration("timeout", 0, "per-simulation-point time budget (0 = unlimited), e.g. 30s")
+		progress = flag.Bool("progress", false, "stream per-point completions to stderr")
 	)
 	flag.Parse()
-	o := exp.Options{Cycles: *cycles, Warmup: *warmup, Small: !*full, Seed: *seed}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	o := exp.Options{
+		Cycles: *cycles, Warmup: *warmup, Small: !*full, Seed: *seed,
+		Workers: *workers, Timeout: *timeout,
+	}
+	if *progress {
+		o.Progress = progressPrinter()
+	}
 	emit := func(v interface{}) error {
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
@@ -48,74 +70,45 @@ func main() {
 		return nil
 	}
 
-	run := map[string]func() error{
-		"3": func() error {
-			r, err := exp.Fig3(o)
-			if err != nil {
-				return err
-			}
-			return emit(r)
+	run := map[string]func(context.Context) (interface{}, error){
+		"3": func(ctx context.Context) (interface{}, error) { return exp.Fig3(ctx, o) },
+		"6": func(ctx context.Context) (interface{}, error) {
+			figs, err := exp.Fig6(ctx, o)
+			return figureList(figs), err
 		},
-		"6": func() error {
-			figs, err := exp.Fig6(o)
-			if err != nil {
-				return err
-			}
-			return emitFigures(figs, emit, *asJSON)
+		"7": func(ctx context.Context) (interface{}, error) {
+			figs, err := exp.Fig7(ctx, o)
+			return figureList(figs), err
 		},
-		"7": func() error {
-			figs, err := exp.Fig7(o)
-			if err != nil {
-				return err
-			}
-			return emitFigures(figs, emit, *asJSON)
-		},
-		"8a": func() error {
-			r, err := exp.Fig8a(o)
-			if err != nil {
-				return err
-			}
-			return emit(r)
-		},
-		"8b": func() error {
-			r, err := exp.Fig8b(o)
-			if err != nil {
-				return err
-			}
-			return emit(r)
-		},
-		"9": func() error {
-			r, err := exp.Fig9(o)
-			if err != nil {
-				return err
-			}
-			return emit(r)
-		},
-		"10": func() error {
-			return emit(exp.Fig10())
-		},
-		"costs": func() error {
-			return emit(exp.Costs())
-		},
-		"torus": func() error {
-			r, err := exp.Torus(o)
-			if err != nil {
-				return err
-			}
-			return emit(r)
-		},
-		"deflection": func() error {
-			r, err := exp.Deflection(o)
-			if err != nil {
-				return err
-			}
-			return emit(r)
+		"8a":    func(ctx context.Context) (interface{}, error) { return exp.Fig8a(ctx, o) },
+		"8b":    func(ctx context.Context) (interface{}, error) { return exp.Fig8b(ctx, o) },
+		"9":     func(ctx context.Context) (interface{}, error) { return exp.Fig9(ctx, o) },
+		"10":    func(ctx context.Context) (interface{}, error) { return exp.Fig10(), nil },
+		"costs": func(ctx context.Context) (interface{}, error) { return exp.Costs(), nil },
+		"torus": func(ctx context.Context) (interface{}, error) { return exp.Torus(ctx, o) },
+		"deflection": func(ctx context.Context) (interface{}, error) {
+			return exp.Deflection(ctx, o)
 		},
 	}
 	if *fig == "all" {
-		for _, k := range []string{"3", "6", "7", "8a", "8b", "9", "10", "costs", "torus", "deflection"} {
+		// All figures dispatch through one shared pool: each figure is a
+		// job whose own points fan out on the same scheduler, and the
+		// buffered results print in canonical order afterwards.
+		keys := []string{"3", "6", "7", "8a", "8b", "9", "10", "costs", "torus", "deflection"}
+		jobs := make([]runner.Job[interface{}], len(keys))
+		for i, k := range keys {
+			k := k
+			jobs[i] = runner.Job[interface{}]{Key: "fig/" + k, Run: func(ctx context.Context, _ int64) (interface{}, error) {
+				return run[k](ctx)
+			}}
+		}
+		results, err := runner.Run(ctx, runner.Options{Workers: *workers, Seed: *seed, Progress: o.Progress}, jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, k := range keys {
 			fmt.Printf("\n===== fig %s =====\n", k)
-			if err := run[k](); err != nil {
+			if err := emitResult(results[i], emit, *asJSON); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -125,22 +118,69 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown figure %q", *fig)
 	}
-	if err := f(); err != nil {
+	v, err := f(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := emitResult(v, emit, *asJSON); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func emitFigures(figs map[string]*exp.Figure, emit func(interface{}) error, asJSON bool) error {
-	if asJSON {
-		return emit(figs)
+// progressPrinter builds a goroutine-safe progress sink: under -fig all
+// several figure pools complete points concurrently.
+func progressPrinter() runner.ProgressFunc {
+	var mu sync.Mutex
+	return func(e runner.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		status := "ok"
+		if e.Err != nil {
+			status = "FAIL: " + e.Err.Error()
+		}
+		fmt.Fprintf(os.Stderr, "spinsweep: [%d/%d] %s (%.1fs) %s\n",
+			e.Done, e.Total, e.Key, e.Elapsed.Seconds(), status)
 	}
+}
+
+// namedFigure pairs a pattern with its figure so figure maps print and
+// encode in a stable order.
+type namedFigure struct {
+	Pattern string
+	Figure  *exp.Figure
+}
+
+// figureList flattens a figure map into pattern-sorted order.
+func figureList(figs map[string]*exp.Figure) []namedFigure {
 	var keys []string
 	for k := range figs {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Println(figs[k])
+	out := make([]namedFigure, len(keys))
+	for i, k := range keys {
+		out[i] = namedFigure{Pattern: k, Figure: figs[k]}
+	}
+	return out
+}
+
+// emitResult prints one figure's result, expanding figure lists.
+func emitResult(v interface{}, emit func(interface{}) error, asJSON bool) error {
+	figs, ok := v.([]namedFigure)
+	if !ok {
+		return emit(v)
+	}
+	if asJSON {
+		// Preserve the historical {pattern: figure} JSON shape; Go maps
+		// marshal with sorted keys, so the bytes stay deterministic.
+		m := make(map[string]*exp.Figure, len(figs))
+		for _, nf := range figs {
+			m[nf.Pattern] = nf.Figure
+		}
+		return emit(m)
+	}
+	for _, nf := range figs {
+		fmt.Println(nf.Figure)
 	}
 	return nil
 }

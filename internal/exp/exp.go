@@ -3,6 +3,12 @@
 // simulations and returns a structured, printable result; cmd/spinsweep
 // and the repository benchmarks are thin wrappers around this package.
 //
+// The sweeps are embarrassingly parallel — each simulation point is a
+// self-contained network instance — so every Fig* function enumerates
+// its points as internal/runner jobs. Each point's seed derives from
+// Options.Seed and a stable point key (runner.SeedFor), never from sweep
+// order, so results are bit-identical at any Options.Workers setting.
+//
 // Absolute cycle counts default to a fraction of the paper's 100K-cycle
 // runs so a full reproduction finishes in minutes; Options.Cycles restores
 // the paper's scale. Options.Small swaps the 1024-node dragonfly and 8x8
@@ -10,35 +16,59 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	spin "repro"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	spinimpl "repro/internal/spin"
 )
 
-// Options control experiment scale.
+// Options control experiment scale and execution.
 type Options struct {
 	// Cycles per simulation point (default 20000).
 	Cycles int64
-	// Warmup cycles before measurement (default Cycles/10).
+	// Warmup cycles before measurement. The rule: zero means "derive" —
+	// after Cycles is resolved (whether it was explicit or defaulted),
+	// Warmup becomes Cycles/10. A negative value requests a true
+	// zero-warmup run; there is no way to express that with 0 because
+	// the zero value must keep meaning "use the default".
 	Warmup int64
 	// Small shrinks topologies: mesh 4x4 and a 256-terminal dragonfly.
 	Small bool
-	// Seed for all runs.
+	// Seed is the base seed. Each simulation point runs on
+	// runner.SeedFor(Seed, pointKey), so two points of one sweep never
+	// share a random stream.
 	Seed int64
+	// Workers bounds concurrently running simulation points (0 =
+	// GOMAXPROCS). Worker count never changes results.
+	Workers int
+	// Timeout bounds each simulation job (0 = unlimited).
+	Timeout time.Duration
+	// Progress, when non-nil, observes each completed simulation job.
+	Progress runner.ProgressFunc
 }
 
 func (o Options) withDefaults() Options {
 	if o.Cycles == 0 {
 		o.Cycles = 20000
 	}
-	if o.Warmup == 0 {
+	switch {
+	case o.Warmup < 0:
+		o.Warmup = 0
+	case o.Warmup == 0:
 		o.Warmup = o.Cycles / 10
 	}
 	return o
+}
+
+// runnerOpts projects the execution knobs for internal/runner.
+func (o Options) runnerOpts() runner.Options {
+	return runner.Options{Workers: o.Workers, Seed: o.Seed, Timeout: o.Timeout, Progress: o.Progress}
 }
 
 // meshSpec and dflySpec resolve topology specs under the Small knob.
@@ -118,28 +148,42 @@ func (f *Figure) String() string {
 	return b.String()
 }
 
+// pointKey names one simulation point inside a sweep. The key doubles as
+// the point's seed-derivation input, so its format is part of the
+// reproducibility contract: "<curve key>@<rate>".
+func pointKey(curve string, rate float64) string {
+	return fmt.Sprintf("%s@%g", curve, rate)
+}
+
 // runPoint executes one configuration at one rate and returns the
-// simulation for metric extraction.
-func runPoint(cfg spin.Config, pattern string, rate float64, o Options) (*spin.Simulation, error) {
+// simulation for metric extraction. The point's seed derives from
+// o.Seed and key; the run is advanced in chunks so ctx cancellation and
+// per-job timeouts are honoured promptly.
+func runPoint(ctx context.Context, cfg spin.Config, pattern string, rate float64, key string, o Options) (*spin.Simulation, error) {
 	cfg.Traffic = pattern
 	cfg.Rate = rate
-	cfg.Seed = o.Seed
+	cfg.Seed = runner.SeedFor(o.Seed, key)
 	cfg.Warmup = o.Warmup
 	s, err := spin.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	s.Run(o.Cycles)
+	if err := runner.Cycles(ctx, s.Run, o.Cycles); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
 // latencyCurve sweeps rates and reports (offered rate, avg latency)
 // points, stopping after latency explodes past satLatency (the curve's
-// vertical asymptote); the last point is still recorded so the knee shows.
-func latencyCurve(cfg spin.Config, pattern string, rates []float64, satLatency float64, o Options) (Series, error) {
+// vertical asymptote); the last point is still recorded so the knee
+// shows. The early exit makes the sweep inherently sequential, so one
+// whole curve is the unit of parallelism (one runner job), with
+// per-point seeds still derived from the point keys.
+func latencyCurve(ctx context.Context, cfg spin.Config, pattern string, rates []float64, satLatency float64, curveKey string, o Options) (Series, error) {
 	var s Series
 	for _, rate := range rates {
-		simn, err := runPoint(cfg, pattern, rate, o)
+		simn, err := runPoint(ctx, cfg, pattern, rate, pointKey(curveKey, rate), o)
 		if err != nil {
 			return s, err
 		}
@@ -153,23 +197,6 @@ func latencyCurve(cfg spin.Config, pattern string, rates []float64, satLatency f
 		}
 	}
 	return s, nil
-}
-
-// saturation reports the highest accepted throughput across the sweep —
-// the conventional saturation-throughput readout for open-loop latency
-// curves.
-func saturation(cfg spin.Config, pattern string, rates []float64, o Options) (float64, error) {
-	best := 0.0
-	for _, rate := range rates {
-		simn, err := runPoint(cfg, pattern, rate, o)
-		if err != nil {
-			return 0, err
-		}
-		if tp := simn.Throughput(); tp > best {
-			best = tp
-		}
-	}
-	return best, nil
 }
 
 // defaultRates returns a geometric-ish sweep up to max.

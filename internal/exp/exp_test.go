@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -14,7 +15,7 @@ func TestFig3SmokeAndShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	res, err := Fig3(Options{Cycles: 4000, Small: true, Seed: 7})
+	res, err := Fig3(context.Background(), Options{Cycles: 4000, Small: true, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestFig7SmokeAndShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	figs, err := Fig7(small())
+	figs, err := Fig7(context.Background(), small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFig6Smoke(t *testing.T) {
 	}
 	o := small()
 	o.Cycles = 2000
-	figs, err := Fig6(o)
+	figs, err := Fig6(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFig8aSmokeAndShape(t *testing.T) {
 	}
 	o := small()
 	o.Cycles = 5000
-	res, err := Fig8a(o)
+	res, err := Fig8a(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestFig8bSmokeAndShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	res, err := Fig8b(small())
+	res, err := Fig8b(context.Background(), small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestFig9SmokeAndShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	res, err := Fig9(small())
+	res, err := Fig9(context.Background(), small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestTorusExtension(t *testing.T) {
 		t.Skip("short mode")
 	}
 	o := small()
-	res, err := Torus(o)
+	res, err := Torus(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestDeflectionExtension(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	res, err := Deflection(small())
+	res, err := Deflection(context.Background(), small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,6 +278,17 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Cycles != 20000 || o.Warmup != 2000 {
 		t.Fatalf("defaults wrong: %+v", o)
 	}
+	// The warmup rule: zero derives Cycles/10 from the *resolved* cycle
+	// count — also when Cycles was set explicitly.
+	explicit := Options{Cycles: 50000}.withDefaults()
+	if explicit.Warmup != 5000 {
+		t.Fatalf("explicit Cycles with zero Warmup should derive Cycles/10, got %d", explicit.Warmup)
+	}
+	// A negative Warmup is the explicit way to ask for no warmup at all.
+	none := Options{Cycles: 50000, Warmup: -1}.withDefaults()
+	if none.Warmup != 0 {
+		t.Fatalf("negative Warmup should resolve to 0, got %d", none.Warmup)
+	}
 	if o.meshSpec() != "mesh:8x8" || o.dflySpec() != "dragonfly1024" {
 		t.Fatal("full-size specs wrong")
 	}
@@ -292,7 +304,7 @@ func TestSaturationSummary(t *testing.T) {
 	}
 	o := small()
 	o.Cycles = 1500
-	sat, err := SaturationSummary(o.meshSpec(), []string{"mesh_westfirst", "mesh_favors_min"}, []int{1, 1}, "transpose", 0.4, o)
+	sat, err := SaturationSummary(context.Background(), o.meshSpec(), []string{"mesh_westfirst", "mesh_favors_min"}, []int{1, 1}, "transpose", 0.4, o)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/bubble"
 	"repro/internal/deflection"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -35,34 +37,40 @@ func (c *TorusComparison) String() string {
 	return b.String()
 }
 
-// Torus runs the comparison.
-func Torus(o Options) (*TorusComparison, error) {
+// Torus runs the comparison, one parallel job per (rate, scheme) point.
+// Each job builds its own torus instance so no topology state is shared
+// across goroutines.
+func Torus(ctx context.Context, o Options) (*TorusComparison, error) {
 	o = o.withDefaults()
 	res := &TorusComparison{Rates: []float64{0.05, 0.1, 0.2, 0.3}}
-	torus, err := topology.NewTorus(4, 4, 1)
+	var jobs []runner.Job[float64]
+	for _, variant := range []string{"bubble", "spin"} {
+		for _, rate := range res.Rates {
+			variant, rate := variant, rate
+			key := pointKey("torus/"+variant, rate)
+			jobs = append(jobs, runner.Job[float64]{Key: key, Run: func(ctx context.Context, seed int64) (float64, error) {
+				torus, err := topology.NewTorus(4, 4, 1)
+				if err != nil {
+					return 0, err
+				}
+				return torusPoint(ctx, torus, rate, variant == "bubble", seed, o)
+			}})
+		}
+	}
+	lats, err := runner.Run(ctx, o.runnerOpts(), jobs)
 	if err != nil {
 		return nil, err
 	}
-	for _, rate := range res.Rates {
-		lat, err := torusPoint(torus, rate, true, o)
-		if err != nil {
-			return nil, err
-		}
-		res.Bubble = append(res.Bubble, lat)
-		lat, err = torusPoint(torus, rate, false, o)
-		if err != nil {
-			return nil, err
-		}
-		res.SPIN = append(res.SPIN, lat)
-	}
+	res.Bubble = lats[:len(res.Rates)]
+	res.SPIN = lats[len(res.Rates):]
 	return res, nil
 }
 
-func torusPoint(torus *topology.Mesh, rate float64, useBubble bool, o Options) (float64, error) {
+func torusPoint(ctx context.Context, torus *topology.Mesh, rate float64, useBubble bool, seed int64, o Options) (float64, error) {
 	cfg := sim.Config{
 		Topology:   torus,
 		VCsPerVNet: 1,
-		Seed:       o.Seed,
+		Seed:       seed,
 		StatsStart: o.Warmup,
 		Traffic:    &traffic.Synthetic{Pattern: traffic.Tornado(torus), Rate: rate, DataFrac: 1},
 	}
@@ -77,7 +85,9 @@ func torusPoint(torus *topology.Mesh, rate float64, useBubble bool, o Options) (
 	if err != nil {
 		return 0, err
 	}
-	n.Run(o.Cycles)
+	if err := runner.Cycles(ctx, n.Run, o.Cycles); err != nil {
+		return 0, err
+	}
 	return n.Stats().AvgLatency(), nil
 }
 
@@ -104,20 +114,52 @@ func (c *DeflectionComparison) String() string {
 	return b.String()
 }
 
-// Deflection runs the comparison.
-func Deflection(o Options) (*DeflectionComparison, error) {
+// deflectionSample is one rate point of the comparison.
+type deflectionSample struct {
+	Deflection float64
+	Buffered   float64
+	AvgDeflect float64
+}
+
+// Deflection runs the comparison, one parallel job per rate point (the
+// bufferless and buffered runs of a rate share a job because they feed
+// one output row).
+func Deflection(ctx context.Context, o Options) (*DeflectionComparison, error) {
 	o = o.withDefaults()
 	res := &DeflectionComparison{Rates: []float64{0.05, 0.15, 0.3, 0.45}}
-	mesh, err := topology.NewMesh(4, 4, 1)
+	var jobs []runner.Job[deflectionSample]
+	for _, rate := range res.Rates {
+		rate := rate
+		key := pointKey("deflection", rate)
+		jobs = append(jobs, runner.Job[deflectionSample]{Key: key, Run: func(ctx context.Context, seed int64) (deflectionSample, error) {
+			return deflectionPoint(ctx, rate, seed, o)
+		}})
+	}
+	samples, err := runner.Run(ctx, o.runnerOpts(), jobs)
 	if err != nil {
 		return nil, err
 	}
-	for _, rate := range res.Rates {
-		// Bufferless run.
-		dn := deflection.New(mesh, o.Seed)
-		dn.StatsStart = o.Warmup
-		rng := rand.New(rand.NewSource(o.Seed))
-		for c := int64(0); c < o.Cycles; c++ {
+	for _, s := range samples {
+		res.Deflection = append(res.Deflection, s.Deflection)
+		res.Buffered = append(res.Buffered, s.Buffered)
+		res.AvgDeflect = append(res.AvgDeflect, s.AvgDeflect)
+	}
+	return res, nil
+}
+
+// deflectionPoint runs the bufferless and buffered networks at one rate.
+func deflectionPoint(ctx context.Context, rate float64, seed int64, o Options) (deflectionSample, error) {
+	var out deflectionSample
+	mesh, err := topology.NewMesh(4, 4, 1)
+	if err != nil {
+		return out, err
+	}
+	// Bufferless run.
+	dn := deflection.New(mesh, seed)
+	dn.StatsStart = o.Warmup
+	rng := rand.New(rand.NewSource(seed))
+	stepAll := func(n int64) {
+		for i := int64(0); i < n; i++ {
 			for src := 0; src < 16; src++ {
 				if rng.Float64() < rate {
 					dst := rng.Intn(16)
@@ -128,28 +170,31 @@ func Deflection(o Options) (*DeflectionComparison, error) {
 			}
 			dn.Step()
 		}
-		res.Deflection = append(res.Deflection, dn.AvgLatency())
-		if dn.EjectedMeasured > 0 {
-			res.AvgDeflect = append(res.AvgDeflect, float64(dn.DeflectionSum)/float64(dn.Ejected))
-		} else {
-			res.AvgDeflect = append(res.AvgDeflect, 0)
-		}
-		// Buffered XY with 1-flit packets for apples-to-apples.
-		bn, err := sim.NewNetwork(sim.Config{
-			Topology:   mesh,
-			Routing:    &routing.XY{Mesh: mesh},
-			VCsPerVNet: 1,
-			Seed:       o.Seed,
-			StatsStart: o.Warmup,
-			Traffic:    &traffic.Synthetic{Pattern: traffic.Uniform(16), Rate: rate, DataFrac: 0.0001},
-		})
-		if err != nil {
-			return nil, err
-		}
-		bn.Run(o.Cycles)
-		res.Buffered = append(res.Buffered, bn.Stats().AvgLatency())
 	}
-	return res, nil
+	if err := runner.Cycles(ctx, stepAll, o.Cycles); err != nil {
+		return out, err
+	}
+	out.Deflection = dn.AvgLatency()
+	if dn.EjectedMeasured > 0 {
+		out.AvgDeflect = float64(dn.DeflectionSum) / float64(dn.Ejected)
+	}
+	// Buffered XY with 1-flit packets for apples-to-apples.
+	bn, err := sim.NewNetwork(sim.Config{
+		Topology:   mesh,
+		Routing:    &routing.XY{Mesh: mesh},
+		VCsPerVNet: 1,
+		Seed:       seed,
+		StatsStart: o.Warmup,
+		Traffic:    &traffic.Synthetic{Pattern: traffic.Uniform(16), Rate: rate, DataFrac: 0.0001},
+	})
+	if err != nil {
+		return out, err
+	}
+	if err := runner.Cycles(ctx, bn.Run, o.Cycles); err != nil {
+		return out, err
+	}
+	out.Buffered = bn.Stats().AvgLatency()
+	return out, nil
 }
 
 // torusDOR is shortest-direction dimension-ordered torus routing (shared

@@ -36,7 +36,7 @@ func (r *Fig10Result) String() string {
 // modules, the Static Bubble router, and the escape-VC router (one extra
 // VC plus escape state).
 func Fig10() *Fig10Result {
-	t := power.DefaultTech
+	t := power.Default()
 	base := power.RouterArea(t, power.MeshRouter(1, power.SchemeNone)).Total()
 	entries := []Fig10Entry{
 		{Design: "westfirst", Area: base},
@@ -81,7 +81,7 @@ func (c *CostSummary) String() string {
 
 // Costs evaluates the headline savings.
 func Costs() *CostSummary {
-	t := power.DefaultTech
+	t := power.Default()
 	row := func(label string, mk func(int, power.SchemeKind) power.RouterConfig) CostRow {
 		a1 := power.RouterArea(t, mk(1, power.SchemeNone)).Total()
 		a2 := power.RouterArea(t, mk(2, power.SchemeNone)).Total()

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	spin "repro"
+	"repro/internal/runner"
 )
 
 // Fig3Result reports, per topology and traffic pattern, the minimum
@@ -43,8 +45,10 @@ func (r *Fig3Result) String() string {
 // Fig3 searches per pattern for the deadlock onset rate on the mesh
 // (fully-adaptive minimal, 3 VCs, no recovery) and the dragonfly (UGAL
 // with free VC use, 3 VCs, no recovery), using the global wait-for-graph
-// oracle as the deadlock detector. 1-flit packets, as in the paper.
-func Fig3(o Options) (*Fig3Result, error) {
+// oracle as the deadlock detector. 1-flit packets, as in the paper. Each
+// (topology, pattern) onset search is one parallel job; the rate search
+// inside a job stays sequential because it stops at the first deadlock.
+func Fig3(ctx context.Context, o Options) (*Fig3Result, error) {
 	o = o.withDefaults()
 	res := &Fig3Result{Cycles: o.Cycles}
 	type setup struct {
@@ -58,27 +62,37 @@ func Fig3(o Options) (*Fig3Result, error) {
 			[]string{"uniform_random", "bit_complement", "transpose", "tornado", "neighbor"}},
 	}
 	rates := []float64{0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}
+	var jobs []runner.Job[Fig3Entry]
 	for _, su := range setups {
 		for _, pat := range su.patterns {
-			min := 0.0
-			for _, rate := range rates {
-				dl, err := deadlocksAt(su.topo, su.routing, pat, rate, o)
-				if err != nil {
-					return nil, err
+			su, pat := su, pat
+			key := "fig3/" + su.label + "/" + pat
+			jobs = append(jobs, runner.Job[Fig3Entry]{Key: key, Run: func(ctx context.Context, _ int64) (Fig3Entry, error) {
+				min := 0.0
+				for _, rate := range rates {
+					dl, err := deadlocksAt(ctx, su.topo, su.routing, pat, pointKey(key, rate), rate, o)
+					if err != nil {
+						return Fig3Entry{}, err
+					}
+					if dl {
+						min = rate
+						break
+					}
 				}
-				if dl {
-					min = rate
-					break
-				}
-			}
-			res.Entries = append(res.Entries, Fig3Entry{Topology: su.label, Pattern: pat, MinRate: min})
+				return Fig3Entry{Topology: su.label, Pattern: pat, MinRate: min}, nil
+			}})
 		}
 	}
+	entries, err := runner.Run(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	res.Entries = entries
 	return res, nil
 }
 
 // deadlocksAt runs one point with no recovery scheme and polls the oracle.
-func deadlocksAt(topo, routing, pattern string, rate float64, o Options) (bool, error) {
+func deadlocksAt(ctx context.Context, topo, routing, pattern, key string, rate float64, o Options) (bool, error) {
 	s, err := spin.New(spin.Config{
 		Topology:   topo,
 		Routing:    routing,
@@ -86,13 +100,16 @@ func deadlocksAt(topo, routing, pattern string, rate float64, o Options) (bool, 
 		Rate:       rate,
 		VCsPerVNet: 3,
 		DataFrac:   0.001, // 1-flit packets as in the paper's Fig. 3
-		Seed:       o.Seed,
+		Seed:       runner.SeedFor(o.Seed, key),
 	})
 	if err != nil {
 		return false, err
 	}
 	const pollEvery = 500
 	for done := int64(0); done < o.Cycles; done += pollEvery {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		s.Run(pollEvery)
 		if s.Deadlocked() {
 			return true, nil

@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	spin "repro"
 	"repro/internal/power"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
@@ -48,19 +50,40 @@ func (r *Fig8aResult) String() string {
 }
 
 // Fig8a runs each PARSEC profile through both configurations and combines
-// activity counters with the power model into network EDP.
-func Fig8a(o Options) (*Fig8aResult, error) {
+// activity counters with the power model into network EDP. Each (app,
+// router configuration) run is one parallel job; the per-app ratio is
+// folded from the job results in suite order.
+func Fig8a(ctx context.Context, o Options) (*Fig8aResult, error) {
 	o = o.withDefaults()
+	apps := traffic.PARSEC()
+	type variant struct {
+		name    string
+		routing string
+		scheme  string
+		vcs     int
+		pk      power.SchemeKind
+	}
+	variants := []variant{
+		{"spin2vc", "min_adaptive", "spin", 2, power.SchemeSPIN},
+		{"escape3vc", "escape_vc", "", 3, power.SchemeEscapeVC},
+	}
+	var jobs []runner.Job[float64]
+	for _, app := range apps {
+		for _, v := range variants {
+			app, v := app, v
+			key := fmt.Sprintf("fig8a/%s/%s", app.Name, v.name)
+			jobs = append(jobs, runner.Job[float64]{Key: key, Run: func(ctx context.Context, seed int64) (float64, error) {
+				return appEDP(ctx, app, v.routing, v.scheme, v.vcs, v.pk, seed, o)
+			}})
+		}
+	}
+	edps, err := runner.Run(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig8aResult{}
-	for _, app := range traffic.PARSEC() {
-		spinEDP, err := appEDP(app, "min_adaptive", "spin", 2, power.SchemeSPIN, o)
-		if err != nil {
-			return nil, err
-		}
-		escEDP, err := appEDP(app, "escape_vc", "", 3, power.SchemeEscapeVC, o)
-		if err != nil {
-			return nil, err
-		}
+	for i, app := range apps {
+		spinEDP, escEDP := edps[2*i], edps[2*i+1]
 		if escEDP == 0 {
 			continue
 		}
@@ -70,14 +93,14 @@ func Fig8a(o Options) (*Fig8aResult, error) {
 }
 
 // appEDP runs one application profile on one router configuration.
-func appEDP(app traffic.AppProfile, routing, scheme string, vcs int, pk power.SchemeKind, o Options) (float64, error) {
+func appEDP(ctx context.Context, app traffic.AppProfile, routing, scheme string, vcs int, pk power.SchemeKind, seed int64, o Options) (float64, error) {
 	cfg := spin.Config{
 		Topology:   o.meshSpec(),
 		Routing:    routing,
 		Scheme:     scheme,
 		VNets:      3,
 		VCsPerVNet: vcs,
-		Seed:       o.Seed,
+		Seed:       seed,
 		Warmup:     o.Warmup,
 	}
 	s, err := spin.New(cfg)
@@ -88,11 +111,13 @@ func appEDP(app traffic.AppProfile, routing, scheme string, vcs int, pk power.Sc
 	// Drive the run from the application trace instead of a synthetic
 	// pattern.
 	s.Network().SetTraffic(&traffic.AppTraffic{Profile: app, Topo: topo})
-	s.Run(o.Cycles)
+	if err := runner.Cycles(ctx, s.Run, o.Cycles); err != nil {
+		return 0, err
+	}
 	st := s.Stats()
 	rc := power.MeshRouter(3*vcs, pk)
 	rc.NumRouters = topo.NumRouters()
-	energy := power.NetworkEnergy(power.DefaultTech, rc,
+	energy := power.NetworkEnergy(power.Default(), rc,
 		st.BufferWrites, st.BufferReads, st.XbarTraversals, st.LinkTraversals, st.MeasuredCycles)
 	lat := st.AvgLatency()
 	if lat == 0 {
@@ -121,22 +146,33 @@ func (r *Fig8bResult) String() string {
 	return b.String()
 }
 
-// Fig8b measures link-cycle usage at low/medium/high load.
-func Fig8b(o Options) (*Fig8bResult, error) {
+// Fig8b measures link-cycle usage at low/medium/high load, one parallel
+// job per load point.
+func Fig8b(ctx context.Context, o Options) (*Fig8bResult, error) {
 	o = o.withDefaults()
 	res := &Fig8bResult{Rates: []float64{0.01, 0.2, 0.5}}
+	var jobs []runner.Job[sim.LinkUtilisation]
 	for _, rate := range res.Rates {
-		s, err := runPoint(spin.Config{
-			Topology:   o.meshSpec(),
-			Routing:    "min_adaptive",
-			Scheme:     "spin",
-			VNets:      3,
-			VCsPerVNet: 3,
-		}, "uniform_random", rate, o)
-		if err != nil {
-			return nil, err
-		}
-		res.Entries = append(res.Entries, s.Network().LinkUtilisation())
+		rate := rate
+		key := pointKey("fig8b", rate)
+		jobs = append(jobs, runner.Job[sim.LinkUtilisation]{Key: key, Run: func(ctx context.Context, _ int64) (sim.LinkUtilisation, error) {
+			s, err := runPoint(ctx, spin.Config{
+				Topology:   o.meshSpec(),
+				Routing:    "min_adaptive",
+				Scheme:     "spin",
+				VNets:      3,
+				VCsPerVNet: 3,
+			}, "uniform_random", rate, key, o)
+			if err != nil {
+				return sim.LinkUtilisation{}, err
+			}
+			return s.Network().LinkUtilisation(), nil
+		}})
 	}
+	entries, err := runner.Run(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	res.Entries = entries
 	return res, nil
 }

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	spin "repro"
+	"repro/internal/runner"
 	spinimpl "repro/internal/spin"
 )
 
@@ -38,10 +40,9 @@ func (r *Fig9Result) String() string {
 }
 
 // Fig9 sweeps injection rates with oracle-backed recovery classification
-// enabled.
-func Fig9(o Options) (*Fig9Result, error) {
+// enabled, one parallel job per (setup, rate) point.
+func Fig9(ctx context.Context, o Options) (*Fig9Result, error) {
 	o = o.withDefaults()
-	res := &Fig9Result{}
 	type setup struct {
 		label, topo, routing, pattern string
 		vcs                           int
@@ -53,30 +54,40 @@ func Fig9(o Options) (*Fig9Result, error) {
 		{"dragonfly", o.dflySpec(), "dfly_min", "bit_complement", 3},
 	}
 	rates := []float64{0.05, 0.1, 0.2, 0.3, 0.4}
+	var jobs []runner.Job[Fig9Entry]
 	for _, su := range setups {
+		curveKey := fmt.Sprintf("fig9/%s/%dvc/%s", su.label, su.vcs, su.pattern)
 		for _, rate := range rates {
-			cfg := spin.Config{
-				Topology:   su.topo,
-				Routing:    su.routing,
-				Scheme:     "spin",
-				VNets:      3,
-				VCsPerVNet: su.vcs,
-				SPIN:       spinimpl.Config{CountTruth: true},
-			}
-			s, err := runPoint(cfg, su.pattern, rate, o)
-			if err != nil {
-				return nil, err
-			}
-			st := s.Stats()
-			res.Entries = append(res.Entries, Fig9Entry{
-				Topology:       su.label,
-				VCs:            su.vcs,
-				Rate:           rate,
-				Spins:          st.Spins,
-				FalsePositives: st.Counter("false_positive_spins"),
-				Probes:         st.Counter("probes_sent"),
-			})
+			su, rate := su, rate
+			key := pointKey(curveKey, rate)
+			jobs = append(jobs, runner.Job[Fig9Entry]{Key: key, Run: func(ctx context.Context, _ int64) (Fig9Entry, error) {
+				cfg := spin.Config{
+					Topology:   su.topo,
+					Routing:    su.routing,
+					Scheme:     "spin",
+					VNets:      3,
+					VCsPerVNet: su.vcs,
+					SPIN:       spinimpl.Config{CountTruth: true},
+				}
+				s, err := runPoint(ctx, cfg, su.pattern, rate, key, o)
+				if err != nil {
+					return Fig9Entry{}, err
+				}
+				st := s.Stats()
+				return Fig9Entry{
+					Topology:       su.label,
+					VCs:            su.vcs,
+					Rate:           rate,
+					Spins:          st.Spins,
+					FalsePositives: st.Counter("false_positive_spins"),
+					Probes:         st.Counter("probes_sent"),
+				}, nil
+			}})
 		}
 	}
-	return res, nil
+	entries, err := runner.Run(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Result{Entries: entries}, nil
 }

@@ -149,7 +149,7 @@ func Table3() *Table3Result { return &Table3Result{Presets: spin.Presets()} }
 // AreaModelNote summarises the power-model design points used by Fig. 10
 // and the cost claims, for EXPERIMENTS.md.
 func AreaModelNote() string {
-	t := power.DefaultTech
+	t := power.Default()
 	m1 := power.RouterArea(t, power.MeshRouter(1, power.SchemeNone)).Total()
 	m3 := power.RouterArea(t, power.MeshRouter(3, power.SchemeNone)).Total()
 	return fmt.Sprintf("mesh router area (rel. units): 1VC=%.0f, 3VC=%.0f", m1, m3)

@@ -34,10 +34,10 @@ type Tech struct {
 	ClockPerBufBit float64
 }
 
-// DefaultTech is calibrated so that the evaluated design points reproduce
+// defaultTech is calibrated so that the evaluated design points reproduce
 // the paper's reported ratios (1 VC vs 3 VC: ~52% mesh / ~53% dragonfly
 // area, ~50%/55% power; SPIN ≈ 4% of a 3-VC west-first mesh router).
-var DefaultTech = Tech{
+var defaultTech = Tech{
 	BufAreaPerBit:      1.0,
 	XbarAreaPerPortBit: 4.25,
 	AllocAreaPerVC:     32,
@@ -48,6 +48,18 @@ var DefaultTech = Tech{
 	LeakPerArea:        0.0002,
 	ClockPerBufBit:     0.1,
 }
+
+// Default returns the calibrated technology constants by value. Every
+// caller gets its own copy, so concurrent experiment jobs can read (or
+// locally tweak) the constants without racing on shared state.
+func Default() Tech { return defaultTech }
+
+// DefaultTech is a package-level copy of Default()'s value.
+//
+// Deprecated: as package-level mutable state it is not safe to modify
+// once parallel sweeps are running; use Default() and pass the value
+// through explicitly.
+var DefaultTech = defaultTech
 
 // SchemeKind enumerates the deadlock-freedom hardware variants whose
 // overhead the model charges.

@@ -112,3 +112,19 @@ func TestSchemeNoneHasNoExtra(t *testing.T) {
 		t.Fatal("SchemeNone charged extra area")
 	}
 }
+
+// Default returns the constants by value: callers can mutate their copy
+// freely, and the deprecated package-level DefaultTech matches it.
+func TestDefaultAccessor(t *testing.T) {
+	if Default() != defaultTech {
+		t.Fatal("Default() does not return the calibrated constants")
+	}
+	if DefaultTech != Default() {
+		t.Fatal("deprecated DefaultTech diverged from Default()")
+	}
+	local := Default()
+	local.BufAreaPerBit = 99
+	if Default().BufAreaPerBit == 99 {
+		t.Fatal("mutating a Default() copy leaked into the shared constants")
+	}
+}
