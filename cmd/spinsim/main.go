@@ -27,7 +27,9 @@ import (
 	"time"
 
 	spin "repro"
+	"repro/internal/harness"
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/traffic"
 )
 
@@ -48,6 +50,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed (base seed when -seeds > 1)")
 		tdd      = flag.Int64("tdd", 0, "deadlock detection threshold (0 = default 128)")
 		drain    = flag.Bool("drain", false, "after the run, stop traffic and drain (liveness check)")
+		check    = flag.Bool("check", false, "attach the runtime invariant checker; on violation print it, write a replay artifact, and exit 1")
+		checkDir = flag.String("checkdir", ".", "directory for -check replay artifacts")
 		record   = flag.String("record", "", "record the injected workload to a CSV trace file")
 		replay   = flag.String("replay", "", "drive the run from a CSV trace file instead of -traffic")
 		seeds    = flag.Int("seeds", 1, "replicate count: run the configuration under N derived seeds")
@@ -87,7 +91,7 @@ func main() {
 		if *record != "" || *replay != "" || *drain {
 			log.Fatal("-seeds > 1 is incompatible with -record/-replay/-drain")
 		}
-		runReplicates(ctx, cfg, *cycles, *seeds, *workers, *timeout, *progress)
+		runReplicates(ctx, cfg, *cycles, *seeds, *workers, *timeout, *progress, *check)
 		return
 	}
 	if *replay != "" {
@@ -117,6 +121,11 @@ func main() {
 	case *record != "":
 		recorder = &traffic.Recorder{Gen: s.Network().Config().Traffic}
 		s.Network().SetTraffic(recorder)
+	}
+	var checker *sim.InvariantChecker
+	if *check {
+		net := s.Network()
+		checker = net.AttachChecker(harness.FromConfig(cfg, *cycles).CheckOptions(net.NumRouters()))
 	}
 	if err := runOne(ctx, s, *cycles, *timeout, *progress); err != nil {
 		log.Fatal(err)
@@ -149,13 +158,34 @@ func main() {
 		fmt.Printf("spin            spins=%d recoveries=%d probes=%d kill_moves=%d\n",
 			st.Spins, st.Counter("recoveries"), st.Counter("probes_sent"), st.Counter("kill_moves_sent"))
 	}
+	drained := true
 	if *drain {
 		if s.Drain(10 * *cycles) {
 			fmt.Println("drain           complete: every packet delivered")
 		} else {
 			fmt.Printf("drain           INCOMPLETE: %d still in flight\n", s.Network().InFlight())
+			drained = false
+			if checker == nil {
+				os.Exit(1)
+			}
+		}
+	}
+	if checker != nil {
+		ns := s.Network().Stats()
+		res := &harness.Result{
+			Scenario:         harness.FromConfig(cfg, *cycles),
+			Violations:       checker.Violations(),
+			Drained:          drained,
+			Injected:         ns.Injected,
+			Ejected:          ns.Ejected,
+			Spins:            ns.Spins,
+			MaxDeadlockSpell: checker.MaxDeadlockSpell(),
+		}
+		if res.Failed() {
+			log.Print(harness.ReportFailure(*checkDir, res))
 			os.Exit(1)
 		}
+		fmt.Printf("check           ok: no invariant violations (max deadlock spell %d cycles)\n", checker.MaxDeadlockSpell())
 	}
 }
 
@@ -187,7 +217,7 @@ type replicate struct {
 
 // runReplicates runs cfg under n derived seeds in parallel and prints
 // per-replicate rows plus mean ± stddev aggregates.
-func runReplicates(ctx context.Context, cfg spin.Config, cycles int64, n, workers int, timeout time.Duration, progress bool) {
+func runReplicates(ctx context.Context, cfg spin.Config, cycles int64, n, workers int, timeout time.Duration, progress, check bool) {
 	jobs := make([]runner.Job[replicate], n)
 	for i := 0; i < n; i++ {
 		i := i
@@ -200,8 +230,18 @@ func runReplicates(ctx context.Context, cfg spin.Config, cycles int64, n, worker
 				if err != nil {
 					return replicate{}, err
 				}
+				var checker *sim.InvariantChecker
+				if check {
+					net := s.Network()
+					checker = net.AttachChecker(harness.FromConfig(c, cycles).CheckOptions(net.NumRouters()))
+				}
 				if err := runner.Cycles(ctx, s.Run, cycles); err != nil {
 					return replicate{}, err
+				}
+				if checker != nil {
+					if err := checker.Err(); err != nil {
+						return replicate{}, fmt.Errorf("seed %d: %w", seed, err)
+					}
 				}
 				return replicate{Seed: seed, AvgLatency: s.AvgLatency(), Throughput: s.Throughput(), Spins: s.Spins()}, nil
 			},

@@ -48,6 +48,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent simulation points (0 = GOMAXPROCS); never changes results")
 		timeout  = flag.Duration("timeout", 0, "per-simulation-point time budget (0 = unlimited), e.g. 30s")
 		progress = flag.Bool("progress", false, "stream per-point completions to stderr")
+		check    = flag.Bool("check", false, "attach the runtime invariant checker to every sweep point; a violation fails that point")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -55,7 +56,7 @@ func main() {
 
 	o := exp.Options{
 		Cycles: *cycles, Warmup: *warmup, Small: !*full, Seed: *seed,
-		Workers: *workers, Timeout: *timeout,
+		Workers: *workers, Timeout: *timeout, Check: *check,
 	}
 	if *progress {
 		o.Progress = progressPrinter()

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	spin "repro"
+	"repro/internal/harness"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	spinimpl "repro/internal/spin"
@@ -51,6 +52,11 @@ type Options struct {
 	Timeout time.Duration
 	// Progress, when non-nil, observes each completed simulation job.
 	Progress runner.ProgressFunc
+	// Check attaches the runtime invariant checker (internal/sim) to
+	// every sweep point; any violation fails that point's job. Fig. 3 is
+	// exempt: its whole purpose is to drive schemeless networks into
+	// deadlock, which the checker would rightly flag.
+	Check bool
 }
 
 func (o Options) withDefaults() Options {
@@ -168,8 +174,18 @@ func runPoint(ctx context.Context, cfg spin.Config, pattern string, rate float64
 	if err != nil {
 		return nil, err
 	}
+	var checker *sim.InvariantChecker
+	if o.Check {
+		sc := harness.FromConfig(cfg, o.Cycles)
+		checker = s.Network().AttachChecker(sc.CheckOptions(s.Network().NumRouters()))
+	}
 	if err := runner.Cycles(ctx, s.Run, o.Cycles); err != nil {
 		return nil, err
+	}
+	if checker != nil {
+		if err := checker.Err(); err != nil {
+			return nil, fmt.Errorf("point %s: %w", key, err)
+		}
 	}
 	return s, nil
 }

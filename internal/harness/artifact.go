@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+)
+
+// ReplayEnv is the environment variable TestReplayArtifact reads: point
+// it at a scenario.json artifact and run the test to reproduce the
+// failure deterministically.
+const ReplayEnv = "HARNESS_REPLAY"
+
+// Artifact is the replayable record of a failed scenario: everything
+// needed to rerun the exact configuration plus what was observed. It is
+// written as scenario-<key>.json next to a one-line repro command.
+type Artifact struct {
+	Scenario   Scenario        `json:"scenario"`
+	Violations []sim.Violation `json:"violations,omitempty"`
+	// Notes carries non-checker findings: drain failures, differential
+	// delivery mismatches.
+	Notes []string `json:"notes,omitempty"`
+	// Repro is the one-line command that reruns this artifact.
+	Repro string `json:"repro"`
+}
+
+// NewArtifact assembles an artifact from a failed run.
+func NewArtifact(res *Result) Artifact {
+	art := Artifact{Scenario: res.Scenario, Violations: res.Violations}
+	if !res.Drained {
+		art.Notes = append(art.Notes, fmt.Sprintf("drain incomplete: %d injected, %d ejected", res.Injected, res.Ejected))
+	}
+	return art
+}
+
+// WriteArtifact persists the artifact as <dir>/scenario-<key>.json
+// (creating dir) and fills in its repro command. It returns the path.
+func WriteArtifact(dir string, art Artifact) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "scenario-"+art.Scenario.Key()+".json")
+	art.Repro = fmt.Sprintf("%s=%s go test -run 'TestReplayArtifact' ./internal/harness", ReplayEnv, path)
+	b, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadArtifact reads an artifact written by WriteArtifact.
+func LoadArtifact(path string) (Artifact, error) {
+	var art Artifact
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return art, err
+	}
+	if err := json.Unmarshal(b, &art); err != nil {
+		return art, fmt.Errorf("harness: bad artifact %s: %w", path, err)
+	}
+	return art, nil
+}
+
+// ReportFailure writes the artifact for a failed result and returns a
+// human-readable message containing the path and repro command. With an
+// empty dir it only formats the message.
+func ReportFailure(dir string, res *Result) string {
+	art := NewArtifact(res)
+	msg := fmt.Sprintf("scenario %s failed: %s", res.Scenario, res.Summary())
+	if dir == "" {
+		return msg
+	}
+	path, err := WriteArtifact(dir, art)
+	if err != nil {
+		return fmt.Sprintf("%s (artifact write failed: %v)", msg, err)
+	}
+	return fmt.Sprintf("%s\nartifact: %s\nreplay:   %s=%s go test -run 'TestReplayArtifact' ./internal/harness",
+		msg, path, ReplayEnv, path)
+}

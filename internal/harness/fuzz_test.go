@@ -1,0 +1,33 @@
+package harness
+
+import "testing"
+
+// FuzzScenario is the native fuzzing entry point: the fuzzer picks raw
+// selector values, FromBits clamps them into a valid scenario, and the
+// scenario runs under the full invariant checker plus the drain
+// liveness check. Any violation is a crash for the fuzzer to minimise;
+// the failing scenario is also written as a replay artifact.
+//
+// Run it with: go test -fuzz FuzzScenario -fuzztime 30s ./internal/harness
+func FuzzScenario(f *testing.F) {
+	// One representative per topology class, cyclic and acyclic routing,
+	// plus the spin-heavy saturation corner.
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint16(20), int64(1), uint16(300))  // 3x3 mesh, xy
+	f.Add(uint8(1), uint8(3), uint8(1), uint8(0), uint8(0), uint16(50), int64(7), uint16(400))  // 4x4 mesh, min_adaptive+spin, saturated
+	f.Add(uint8(4), uint8(2), uint8(4), uint8(1), uint8(1), uint16(35), int64(3), uint16(350))  // torus, cyclic+spin
+	f.Add(uint8(5), uint8(1), uint8(0), uint8(1), uint8(0), uint16(30), int64(5), uint16(200))  // dragonfly, cyclic+spin
+	f.Add(uint8(6), uint8(0), uint8(2), uint8(0), uint8(1), uint16(40), int64(11), uint16(250)) // jellyfish
+	f.Add(uint8(7), uint8(1), uint8(1), uint8(2), uint8(0), uint16(45), int64(13), uint16(300)) // irregular mesh
+	f.Fuzz(func(t *testing.T, topoSel, routeSel, patSel, vcs, vnets uint8, ratePct uint16, seed int64, cycles uint16) {
+		sc := FromBits(topoSel, routeSel, patSel, vcs, vnets, ratePct, seed, cycles)
+		res, err := Run(sc)
+		if err != nil {
+			// FromBits must be total over valid scenarios; a build error
+			// here is a generator bug, not an uninteresting input.
+			t.Fatalf("scenario %s failed to build: %v", sc, err)
+		}
+		if res.Failed() {
+			t.Fatal(ReportFailure(artifactDir(), res))
+		}
+	})
+}

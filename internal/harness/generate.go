@@ -1,0 +1,179 @@
+package harness
+
+import "math/rand"
+
+// The generator's job is to emit only *valid* scenarios — combinations
+// the simulator accepts and that are deadlock-free by construction
+// (acyclic routing) or by recovery (cyclic routing under SPIN) — so that
+// every invariant violation a run produces is a real bug, not a
+// misconfigured experiment. The validity rules encoded here mirror
+// BuildRouting/BuildTopology in the top-level package and the CDG
+// verdicts of Table I:
+//
+//   - xy, westfirst, escape_vc and dfly_min_ladder build acyclic channel
+//     dependencies and may run without a recovery scheme;
+//   - min_adaptive, favors_min, favors_nmin, dfly_min and ugal_spin are
+//     cyclic and MUST run under SPIN;
+//   - escape_vc needs a mesh/torus and >= 2 VCs per vnet; the bit
+//     permutation patterns need power-of-two terminal counts; transpose
+//     needs a square mesh or power-of-two terminals.
+
+// topoChoice describes one generatable topology and what is legal on it.
+type topoChoice struct {
+	spec      string
+	terminals int
+	square    bool // square mesh (transpose legal regardless of pow2)
+	mesh      bool // *topology.Mesh underneath (xy/westfirst/escape_vc legal)
+	dragonfly bool
+	// acyclic / cyclic routing choices legal on this topology. Cyclic
+	// ones are always paired with scheme "spin".
+	acyclic []string
+	cyclic  []string
+}
+
+var topoChoices = []topoChoice{
+	{spec: "mesh:3x3", terminals: 9, square: true, mesh: true,
+		acyclic: []string{"xy", "westfirst", "escape_vc"},
+		cyclic:  []string{"min_adaptive", "favors_min", "favors_nmin"}},
+	{spec: "mesh:4x4", terminals: 16, square: true, mesh: true,
+		acyclic: []string{"xy", "westfirst", "escape_vc"},
+		cyclic:  []string{"min_adaptive", "favors_min", "favors_nmin"}},
+	{spec: "mesh:4x2", terminals: 8, mesh: true,
+		acyclic: []string{"xy", "westfirst", "escape_vc"},
+		cyclic:  []string{"min_adaptive", "favors_min"}},
+	{spec: "mesh:5x5", terminals: 25, square: true, mesh: true,
+		acyclic: []string{"xy", "westfirst", "escape_vc"},
+		cyclic:  []string{"min_adaptive", "favors_min"}},
+	// XY on a torus never takes wrap links (mesh-coordinate turns only),
+	// so it stays acyclic; escape_vc's escape ring is likewise non-wrap.
+	{spec: "torus:4x4", terminals: 16, square: true, mesh: true,
+		acyclic: []string{"xy", "escape_vc"},
+		cyclic:  []string{"min_adaptive", "favors_min"}},
+	{spec: "dragonfly:2,4,2,9", terminals: 72, dragonfly: true,
+		acyclic: []string{"dfly_min_ladder"},
+		cyclic:  []string{"dfly_min", "ugal_spin"}},
+	{spec: "jellyfish:10,1,3", terminals: 10,
+		cyclic: []string{"min_adaptive", "favors_min"}},
+	{spec: "irregular:4x4:3", terminals: 16,
+		cyclic: []string{"min_adaptive", "favors_min"}},
+}
+
+// patterns legal for a topology: the bit permutations need power-of-two
+// terminal counts; transpose additionally accepts square meshes.
+func (tc topoChoice) patterns() []string {
+	ps := []string{"uniform_random", "tornado", "neighbor"}
+	if tc.terminals&(tc.terminals-1) == 0 {
+		ps = append(ps, "bit_complement", "bit_reverse", "bit_rotation", "shuffle", "transpose")
+	} else if tc.square {
+		ps = append(ps, "transpose")
+	}
+	return ps
+}
+
+func pick(rng *rand.Rand, opts []string) string { return opts[rng.Intn(len(opts))] }
+
+// Generate draws one random valid scenario. The same rng state always
+// yields the same scenario, so a harness run over seeds 1..N is a fixed,
+// reproducible corpus.
+func Generate(rng *rand.Rand) Scenario {
+	tc := topoChoices[rng.Intn(len(topoChoices))]
+
+	sc := Scenario{
+		Topology: tc.spec,
+		Traffic:  pick(rng, tc.patterns()),
+		// Saturating loads are where deadlock and recovery live; keep
+		// the mass of the distribution there but visit low load too.
+		Rate:       0.08 + 0.5*rng.Float64(),
+		DataFrac:   0.5,
+		VNets:      1 + rng.Intn(2),
+		VCsPerVNet: 1 + rng.Intn(3),
+		VCDepth:    5,
+		Seed:       1 + rng.Int63n(1<<30),
+		TDD:        []int64{16, 24, 32}[rng.Intn(3)],
+		Cycles:     600 + rng.Int63n(600),
+	}
+
+	// Choose routing: acyclic (schemeless) or cyclic (under SPIN).
+	all := len(tc.acyclic) + len(tc.cyclic)
+	if k := rng.Intn(all); k < len(tc.acyclic) {
+		sc.Routing = tc.acyclic[k]
+		sc.Scheme = ""
+	} else {
+		sc.Routing = tc.cyclic[k-len(tc.acyclic)]
+		sc.Scheme = "spin"
+	}
+	// escape_vc needs a distinct escape VC; the minimal-routing VC
+	// ladder needs one VC per global hop plus one to stay acyclic.
+	if (sc.Routing == "escape_vc" || sc.Routing == "dfly_min_ladder") && sc.VCsPerVNet < 2 {
+		sc.VCsPerVNet = 2
+	}
+	// The big dragonfly is the slowest topology; cap its runtime share.
+	if tc.dragonfly {
+		sc.Cycles = 400
+		sc.VNets = 1
+	}
+	return sc
+}
+
+// FromBits decodes raw fuzzer-chosen values into a valid scenario by
+// clamping every field into its legal range — the bridge between go
+// test -fuzz's primitive corpus entries and the scenario space. The
+// mapping is total: every input decodes to a runnable scenario, so the
+// fuzzer spends its budget exploring behaviour, not fighting validation.
+func FromBits(topoSel, routeSel, patSel, vcs, vnets uint8, ratePct uint16, seed int64, cycles uint16) Scenario {
+	tc := topoChoices[int(topoSel)%len(topoChoices)]
+	pats := tc.patterns()
+	sc := Scenario{
+		Topology:   tc.spec,
+		Traffic:    pats[int(patSel)%len(pats)],
+		Rate:       0.05 + float64(ratePct%55)/100, // 0.05..0.59
+		DataFrac:   0.5,
+		VNets:      1 + int(vnets)%2,
+		VCsPerVNet: 1 + int(vcs)%3,
+		VCDepth:    5,
+		Seed:       seed&0x7fffffff + 1,
+		TDD:        16,
+		Cycles:     100 + int64(cycles)%400,
+	}
+	all := len(tc.acyclic) + len(tc.cyclic)
+	if k := int(routeSel) % all; k < len(tc.acyclic) {
+		sc.Routing = tc.acyclic[k]
+	} else {
+		sc.Routing = tc.cyclic[k-len(tc.acyclic)]
+		sc.Scheme = "spin"
+	}
+	if (sc.Routing == "escape_vc" || sc.Routing == "dfly_min_ladder") && sc.VCsPerVNet < 2 {
+		sc.VCsPerVNet = 2
+	}
+	if tc.dragonfly {
+		sc.Cycles = 200
+		sc.VNets = 1
+	}
+	return sc
+}
+
+// DifferentialEligible reports whether the scenario has an escape-VC
+// baseline to compare against: the baseline routing needs a mesh/torus.
+func (sc Scenario) DifferentialEligible() bool {
+	for _, tc := range topoChoices {
+		if tc.spec == sc.Topology {
+			return tc.mesh
+		}
+	}
+	return false
+}
+
+// Baseline derives the escape-VC reference configuration used by the
+// differential oracle: same topology, workload and seed, but Duato
+// escape-VC routing with no recovery scheme — deadlock-free by
+// construction, so its delivered packet set is ground truth.
+func (sc Scenario) Baseline() Scenario {
+	b := sc
+	b.Routing = "escape_vc"
+	b.Scheme = ""
+	b.TDD = 0
+	if b.VCsPerVNet < 2 {
+		b.VCsPerVNet = 2
+	}
+	return b
+}

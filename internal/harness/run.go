@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+
+	spin "repro"
+	"repro/internal/sim"
+)
+
+// Result is the outcome of one checked scenario execution.
+type Result struct {
+	Scenario   Scenario        `json:"scenario"`
+	Violations []sim.Violation `json:"violations,omitempty"`
+	// Drained reports whether every packet left the network within the
+	// drain budget — the end-to-end liveness verdict.
+	Drained  bool  `json:"drained"`
+	Injected int64 `json:"injected"`
+	Ejected  int64 `json:"ejected"`
+	Spins    int64 `json:"spins"`
+	// MaxDeadlockSpell is the longest continuous interval any VC spent
+	// in the global oracle's deadlocked set — the run's empirical
+	// recovery bound.
+	MaxDeadlockSpell int64 `json:"max_deadlock_spell,omitempty"`
+	// Delivered maps packet ID to its delivery tuple, in a form the
+	// differential oracle can compare across configurations.
+	Delivered []Delivery `json:"-"`
+}
+
+// Delivery identifies one delivered packet, indexed by injection order
+// (packet IDs are assigned sequentially at injection).
+type Delivery struct {
+	ID     uint64
+	Src    int
+	Dst    int
+	Length int
+	VNet   int
+}
+
+// Failed reports whether the run violated any invariant, including the
+// drain liveness check.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 || !r.Drained }
+
+// Summary is a one-line verdict for logs and artifacts.
+func (r *Result) Summary() string {
+	if !r.Failed() {
+		return fmt.Sprintf("ok: %d packets, %d spins, max deadlock spell %d", r.Ejected, r.Spins, r.MaxDeadlockSpell)
+	}
+	s := fmt.Sprintf("%d violation(s)", len(r.Violations))
+	if !r.Drained {
+		s += fmt.Sprintf(", drain incomplete (%d injected, %d ejected)", r.Injected, r.Ejected)
+	}
+	if len(r.Violations) > 0 {
+		s += ": " + r.Violations[0].String()
+	}
+	return s
+}
+
+// CheckOptions derives the invariant-checker configuration for the
+// scenario. The recovery bound is the harness's liveness contract: SPIN
+// must clear any oracle-visible deadlock within the time for detection
+// (tDD stretched by up to 8x backoff) plus a few probe/move round trips
+// around the longest possible loop; schemeless scenarios are generated
+// deadlock-free, so any persistent oracle deadlock at all is a bug and
+// the bound is a small constant.
+func (sc Scenario) CheckOptions(routers int) sim.CheckOptions {
+	opt := sim.CheckOptions{OracleEvery: 16}
+	tdd := sc.TDD
+	if tdd == 0 {
+		tdd = 128 // the paper's default, applied when the scenario doesn't override
+	}
+	if sc.Scheme == "spin" {
+		// Detection: priority rotation visits every router within
+		// EpochFactor*tDD*routers/... — in practice a few backoff-
+		// stretched detection intervals; recovery: probe+move+spin
+		// traverse the loop (<= 2*routers hops) a handful of times, and
+		// contended recoveries restart after kill_moves. The constant
+		// is calibrated against the harness corpus (see
+		// TestSpinRecoveryBoundRegression) with ~3x headroom.
+		opt.RecoveryBound = 40*tdd + 30*int64(routers)
+	} else {
+		// No recovery scheme: the routing itself must be deadlock-free,
+		// so the oracle may never see a deadlock persist.
+		opt.RecoveryBound = 256
+	}
+	return opt
+}
+
+// Run executes the scenario with the invariant checker attached: the
+// traffic phase, then a full drain. Any checker violation, plus a drain
+// failure, lands in the result. The run is deterministic in the
+// scenario's seed.
+func Run(sc Scenario) (*Result, error) {
+	s, err := sc.Sim()
+	if err != nil {
+		return nil, err
+	}
+	return runChecked(sc, s)
+}
+
+// runChecked drives a built simulation through the checked traffic+drain
+// protocol. Callers may have replaced the traffic generator (trace
+// replay, recording) before handing the simulation over.
+func runChecked(sc Scenario, s *spin.Simulation) (*Result, error) {
+	net := s.Network()
+	checker := net.AttachChecker(sc.CheckOptions(net.NumRouters()))
+	res := &Result{Scenario: sc}
+	net.SetEjectHook(func(p *sim.Packet) {
+		res.Delivered = append(res.Delivered, Delivery{ID: p.ID, Src: p.Src, Dst: p.Dst, Length: p.Length, VNet: p.VNet})
+	})
+	s.Run(sc.Cycles)
+	res.Drained = s.Drain(sc.drainBudget())
+	res.Violations = checker.Violations()
+	res.Injected = net.Stats().Injected
+	res.Ejected = net.Stats().Ejected
+	res.Spins = net.Stats().Spins
+	res.MaxDeadlockSpell = checker.MaxDeadlockSpell()
+	return res, nil
+}

@@ -1,0 +1,121 @@
+// Package harness is the randomized-scenario correctness subsystem: it
+// generates random valid simulator configurations, runs each one with
+// the sim.InvariantChecker attached, cross-checks SPIN-enabled runs
+// against the escape-VC baseline on an identical recorded workload (the
+// differential oracle), and writes a replayable JSON artifact for every
+// violation so failures reproduce deterministically.
+//
+// The entry points are Generate (random valid Scenario), Run (one
+// checked execution), RunDifferential (SPIN vs escape-VC on the same
+// trace), and FuzzScenario in fuzz_test.go (the native go test -fuzz
+// driver over the same machinery).
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	spin "repro"
+)
+
+// Scenario is a compact, serializable simulator configuration — the unit
+// the harness generates, runs, and writes into failure artifacts. Fields
+// mirror the top-level spin.Config spec strings so a scenario can be
+// reproduced with cmd/spinsim flags verbatim.
+type Scenario struct {
+	// Topology, Routing, Scheme, Traffic are spin.Config spec strings
+	// ("mesh:4x4", "min_adaptive", "spin", "tornado", ...).
+	Topology string `json:"topology"`
+	Routing  string `json:"routing"`
+	Scheme   string `json:"scheme,omitempty"`
+	Traffic  string `json:"traffic"`
+
+	Rate     float64 `json:"rate"`
+	DataFrac float64 `json:"data_frac,omitempty"`
+
+	VNets      int `json:"vnets,omitempty"`
+	VCsPerVNet int `json:"vcs_per_vnet,omitempty"`
+	VCDepth    int `json:"vc_depth,omitempty"`
+
+	Seed int64 `json:"seed"`
+	TDD  int64 `json:"tdd,omitempty"`
+
+	// Cycles is the traffic phase length; DrainCycles bounds the drain
+	// that follows (0 = 20x Cycles).
+	Cycles      int64 `json:"cycles"`
+	DrainCycles int64 `json:"drain_cycles,omitempty"`
+}
+
+// Config translates the scenario into a top-level simulation config.
+func (sc Scenario) Config() spin.Config {
+	return spin.Config{
+		Topology:   sc.Topology,
+		Routing:    sc.Routing,
+		Scheme:     sc.Scheme,
+		Traffic:    sc.Traffic,
+		Rate:       sc.Rate,
+		DataFrac:   sc.DataFrac,
+		VNets:      sc.VNets,
+		VCsPerVNet: sc.VCsPerVNet,
+		VCDepth:    sc.VCDepth,
+		Seed:       sc.Seed,
+		TDD:        sc.TDD,
+	}
+}
+
+// FromConfig lifts a top-level simulation config into a Scenario, so
+// command-line runs (spinsim -check) share the harness's checker
+// configuration and replay-artifact format. Warmup is dropped: it only
+// gates measurement windows, never the raw counters the checker audits.
+func FromConfig(cfg spin.Config, cycles int64) Scenario {
+	return Scenario{
+		Topology:   cfg.Topology,
+		Routing:    cfg.Routing,
+		Scheme:     cfg.Scheme,
+		Traffic:    cfg.Traffic,
+		Rate:       cfg.Rate,
+		DataFrac:   cfg.DataFrac,
+		VNets:      cfg.VNets,
+		VCsPerVNet: cfg.VCsPerVNet,
+		VCDepth:    cfg.VCDepth,
+		Seed:       cfg.Seed,
+		TDD:        cfg.TDD,
+		Cycles:     cycles,
+	}
+}
+
+// Sim builds the runnable simulation for the scenario.
+func (sc Scenario) Sim() (*spin.Simulation, error) { return spin.New(sc.Config()) }
+
+// drainBudget is the post-traffic drain bound. The default is generous
+// on purpose: a deeply oversaturated 1-VC configuration holds O(rate x
+// cycles x terminals) flits in its injection queues and drains them at
+// its (recovery-limited) saturation throughput, which can take hundreds
+// of cycles per offered cycle. Drain returns the moment the network
+// empties, so live runs never pay the full budget.
+func (sc Scenario) drainBudget() int64 {
+	if sc.DrainCycles > 0 {
+		return sc.DrainCycles
+	}
+	return 250 * sc.Cycles
+}
+
+// String is a one-line human-readable summary, stable enough for subtest
+// names.
+func (sc Scenario) String() string {
+	scheme := sc.Scheme
+	if scheme == "" {
+		scheme = "none"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s@%.2f/vn%d-vc%d/seed%d",
+		sc.Topology, sc.Routing, scheme, sc.Traffic, sc.Rate, sc.VNets, sc.VCsPerVNet, sc.Seed)
+}
+
+// Key is a short stable content hash, used for artifact filenames.
+func (sc Scenario) Key() string {
+	b, _ := json.Marshal(sc)
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// hasRule reports whether any violation carries the rule.
+func hasRule(vs []Violation, rule string) bool {
+	for _, v := range vs {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// rulesOf collects the distinct rule names for failure messages.
+func rulesOf(vs []Violation) string {
+	var names []string
+	for _, v := range vs {
+		names = append(names, v.Rule)
+	}
+	return strings.Join(names, ",")
+}
+
+// account makes the conservation check agree with manually enqueued
+// flits so targeted corruption tests only trip their own rule.
+func account(n *Network, flits int64) { n.stats.InjectedFlits += flits }
+
+func TestCheckerCleanOnLegalSpinOverlap(t *testing.T) {
+	n, v := vcFixture(t)
+	// Old packet's draining tail ahead of the new owner's arriving head —
+	// exactly the overlap StartSpin produces.
+	old := &Packet{ID: 1, Length: 3}
+	new_ := &Packet{ID: 2, Length: 3}
+	v.enqueue(Flit{Pkt: old, Seq: 2}, 0) // tail of old
+	v.enqueue(Flit{Pkt: new_, Seq: 0}, 1)
+	v.enqueue(Flit{Pkt: new_, Seq: 1}, 2)
+	v.reserve(new_, 1, true)
+	account(n, 3)
+	if vs := n.CheckStructural(); len(vs) != 0 {
+		t.Fatalf("legal spin overlap flagged: %s (%v)", rulesOf(vs), vs)
+	}
+}
+
+func TestCheckerDetectsThreePacketInterleave(t *testing.T) {
+	n, v := vcFixture(t)
+	for i, p := range []*Packet{{ID: 1, Length: 1}, {ID: 2, Length: 1}, {ID: 3, Length: 1}} {
+		v.enqueue(Flit{Pkt: p, Seq: 0}, int64(i))
+	}
+	v.reserve(&Packet{ID: 3, Length: 1}, 0, true)
+	account(n, 3)
+	if vs := n.CheckStructural(); !hasRule(vs, RuleVCTInterleave) {
+		t.Fatalf("three resident packets not flagged: %s", rulesOf(vs))
+	}
+}
+
+func TestCheckerDetectsSplitPacket(t *testing.T) {
+	n, v := vcFixture(t)
+	a := &Packet{ID: 1, Length: 2}
+	b := &Packet{ID: 2, Length: 1}
+	v.enqueue(Flit{Pkt: a, Seq: 0}, 0)
+	v.enqueue(Flit{Pkt: b, Seq: 0}, 1)
+	v.enqueue(Flit{Pkt: a, Seq: 1}, 2) // a resumes after b: illegal
+	v.reserve(a, 0, true)
+	account(n, 3)
+	if vs := n.CheckStructural(); !hasRule(vs, RuleVCTInterleave) {
+		t.Fatalf("split packet not flagged: %s", rulesOf(vs))
+	}
+}
+
+func TestCheckerDetectsTruncatedOldPacket(t *testing.T) {
+	n, v := vcFixture(t)
+	// Old packet's run does not end in its tail — the overlap is not the
+	// old-tail + new-head shape the VCT contract allows.
+	old := &Packet{ID: 1, Length: 3}
+	new_ := &Packet{ID: 2, Length: 2}
+	v.enqueue(Flit{Pkt: old, Seq: 1}, 0) // mid-packet, tail (seq 2) missing
+	v.enqueue(Flit{Pkt: new_, Seq: 0}, 1)
+	v.reserve(new_, 1, true)
+	account(n, 2)
+	if vs := n.CheckStructural(); !hasRule(vs, RuleVCTInterleave) {
+		t.Fatalf("truncated old packet not flagged: %s", rulesOf(vs))
+	}
+}
+
+func TestCheckerDetectsHeadlessNewPacket(t *testing.T) {
+	n, v := vcFixture(t)
+	old := &Packet{ID: 1, Length: 1}
+	new_ := &Packet{ID: 2, Length: 3}
+	v.enqueue(Flit{Pkt: old, Seq: 0}, 0)  // tail of old (length 1)
+	v.enqueue(Flit{Pkt: new_, Seq: 1}, 1) // new packet arrives mid-body
+	v.reserve(new_, 1, true)
+	account(n, 2)
+	if vs := n.CheckStructural(); !hasRule(vs, RuleVCTInterleave) {
+		t.Fatalf("headless new packet not flagged: %s", rulesOf(vs))
+	}
+}
+
+func TestCheckerDetectsSeqGap(t *testing.T) {
+	n, v := vcFixture(t)
+	p := &Packet{ID: 1, Length: 4}
+	v.enqueue(Flit{Pkt: p, Seq: 0}, 0)
+	v.enqueue(Flit{Pkt: p, Seq: 2}, 1) // seq 1 missing
+	v.reserve(p, 0, true)
+	account(n, 2)
+	if vs := n.CheckStructural(); !hasRule(vs, RuleVCTOrder) {
+		t.Fatalf("sequence gap not flagged: %s", rulesOf(vs))
+	}
+}
+
+func TestCheckerDetectsMissingReservation(t *testing.T) {
+	n, v := vcFixture(t)
+	p := &Packet{ID: 1, Length: 2}
+	v.enqueue(Flit{Pkt: p, Seq: 0}, 0)
+	account(n, 1)
+	if vs := n.CheckStructural(); !hasRule(vs, RuleReservation) {
+		t.Fatalf("buffered flits without owner not flagged: %s", rulesOf(vs))
+	}
+}
+
+func TestCheckerDetectsStaleReservation(t *testing.T) {
+	n, v := vcFixture(t)
+	// Owner is a packet with no buffered flits and nothing in flight.
+	resident := &Packet{ID: 1, Length: 2}
+	v.enqueue(Flit{Pkt: resident, Seq: 0}, 0)
+	v.reserve(&Packet{ID: 2, Length: 2}, 0, true)
+	account(n, 1)
+	if vs := n.CheckStructural(); !hasRule(vs, RuleReservation) {
+		t.Fatalf("stale owner not flagged: %s", rulesOf(vs))
+	}
+}
+
+func TestCheckerDetectsCreditLeak(t *testing.T) {
+	n, v := vcFixture(t)
+	// An in-flight promise with no flit on any link: the credit
+	// cross-check against link transit state must catch it, and the
+	// phantom promise also drives FreeSlots negative when the buffer
+	// fills.
+	v.inFlight = 2
+	if vs := n.CheckStructural(); !hasRule(vs, RuleCredit) {
+		t.Fatalf("phantom in-flight promise not flagged: %s", rulesOf(vs))
+	}
+	v.inFlight = -1
+	if vs := n.CheckStructural(); !hasRule(vs, RuleCredit) {
+		t.Fatalf("negative in-flight not flagged: %s", rulesOf(vs))
+	}
+}
+
+func TestCheckerDetectsConservationBreak(t *testing.T) {
+	n, _ := vcFixture(t)
+	n.stats.InjectedFlits = 7 // nothing buffered or in transit
+	if vs := n.CheckStructural(); !hasRule(vs, RuleConservation) {
+		t.Fatalf("flit leak not flagged: %s", rulesOf(vs))
+	}
+}
+
+func TestCheckerDetectsDuplicateDelivery(t *testing.T) {
+	n, _ := vcFixture(t)
+	c := n.AttachChecker(CheckOptions{})
+	p := &Packet{ID: 9, Length: 1}
+	c.onEject(p)
+	c.onEject(p)
+	if !hasRule(c.Violations(), RuleDelivery) {
+		t.Fatalf("duplicate delivery not flagged: %s", rulesOf(c.Violations()))
+	}
+}
+
+func TestCheckerDetectsHopBoundBreak(t *testing.T) {
+	n, _ := vcFixture(t)
+	c := n.AttachChecker(CheckOptions{})
+	// Diameter of the 2-router line is 1: 3 productive hops overshoot.
+	c.onEject(&Packet{ID: 1, Length: 1, Hops: 40, Misroutes: 2})
+	if !hasRule(c.Violations(), RuleHopBound) {
+		t.Fatalf("hop overshoot not flagged: %s", rulesOf(c.Violations()))
+	}
+	if hasRule(c.Violations(), RuleDelivery) {
+		t.Fatal("single delivery mis-flagged")
+	}
+}
+
+func TestCheckerFlagsStalledVC(t *testing.T) {
+	g := lineTopology(t)
+	n, err := NewNetwork(Config{Topology: g, Routing: nopRouting{}, VCsPerVNet: 1, VCDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.AttachChecker(CheckOptions{StallBound: 20})
+	// A complete resident frozen with no recovery scheme attached: its
+	// front flit can never move, which the progress bound must flag.
+	v := n.Router(0).VC(1, 0)
+	p := &Packet{ID: 1, Length: 2, DstRouter: 1}
+	v.reserve(p, 0, false)
+	v.enqueue(Flit{Pkt: p, Seq: 0}, 0)
+	v.enqueue(Flit{Pkt: p, Seq: 1}, 0)
+	account(n, 2)
+	n.Router(0).FreezeVC(v)
+	n.Run(60)
+	if !hasRule(c.Violations(), RuleProgress) {
+		t.Fatalf("stalled VC not flagged: %s", rulesOf(c.Violations()))
+	}
+	if c.MaxStall() <= 20 {
+		t.Fatalf("max stall %d not tracked past bound", c.MaxStall())
+	}
+}
+
+func TestCheckerCleanOnRealTraffic(t *testing.T) {
+	// End-to-end sanity: the engine itself must never trip the checker.
+	g := lineTopology(t)
+	n, err := NewNetwork(Config{Topology: g, Routing: nopRouting{}, VCsPerVNet: 2, VCDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.AttachChecker(CheckOptions{StallBound: 200})
+	for i := 0; i < 30; i++ {
+		n.InjectPacket(0, PacketSpec{Dst: 1, Length: 1 + i%5})
+	}
+	n.Run(400)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().Ejected != 30 {
+		t.Fatalf("delivered %d of 30", n.Stats().Ejected)
+	}
+}

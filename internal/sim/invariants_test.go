@@ -11,24 +11,15 @@ import (
 	"repro/internal/traffic"
 )
 
-// checkVCTInvariants walks every VC and asserts the virtual-cut-through
-// contract: occupancy within depth, at most two packets interleaved only
-// as old-tail + new-head (the spin overlap), and reservation consistency.
+// checkVCTInvariants asserts the virtual-cut-through contract on every
+// VC: occupancy within depth, at most two packets interleaved only as
+// old-tail + new-head (the spin overlap), and reservation consistency.
+// The checks themselves live in the shared InvariantChecker (checker.go)
+// so tests and the fuzzing harness run one implementation.
 func checkVCTInvariants(t *testing.T, n *sim.Network) {
 	t.Helper()
-	for r := 0; r < n.NumRouters(); r++ {
-		rt := n.Router(r)
-		for p := 0; p < rt.Radix(); p++ {
-			for k := 0; k < rt.VCsPerPort(); k++ {
-				v := rt.VC(p, k)
-				if v.Len() > v.Depth() {
-					t.Fatalf("r%d p%d vc%d over depth: %d > %d", r, p, k, v.Len(), v.Depth())
-				}
-				if v.FreeSlots() < 0 {
-					t.Fatalf("r%d p%d vc%d negative free slots", r, p, k)
-				}
-			}
-		}
+	for _, v := range n.CheckStructural() {
+		t.Fatalf("invariant violation: %v", v)
 	}
 }
 

@@ -81,6 +81,10 @@ type Network struct {
 
 	// ejectHook, when set, observes every ejected packet (tests, traces).
 	ejectHook func(*Packet)
+
+	// checker, when attached, audits the network's invariants every
+	// cycle (see checker.go).
+	checker *InvariantChecker
 }
 
 // NewNetwork builds a network from cfg, attaching the scheme's agents.
@@ -228,6 +232,9 @@ func (n *Network) Step() {
 	for _, r := range n.routers {
 		r.saStage()
 	}
+	if n.checker != nil {
+		n.checker.endOfStep()
+	}
 	if n.measuring() {
 		n.stats.MeasuredCycles++
 	}
@@ -318,6 +325,9 @@ func (n *Network) ejected(f Flit) {
 	}
 	if n.ejectHook != nil {
 		n.ejectHook(p)
+	}
+	if n.checker != nil {
+		n.checker.onEject(p)
 	}
 }
 

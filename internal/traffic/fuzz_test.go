@@ -1,0 +1,44 @@
+package traffic
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceParser hardens LoadTrace against arbitrary input: malformed
+// traces must fail with an error, never a panic, and anything that
+// parses must survive a Save/LoadTrace round trip unchanged (LoadTrace
+// sorts by cycle, so a second pass is a fixpoint) and Validate without
+// panicking.
+//
+// Run it with: go test -fuzz FuzzTraceParser -fuzztime 30s ./internal/traffic
+func FuzzTraceParser(f *testing.F) {
+	f.Add([]byte("0,0,1,5,0\n12,3,2,1,0\n"))
+	f.Add([]byte("")) // empty trace is valid
+	f.Add([]byte("1,2\n"))
+	f.Add([]byte("a,b,c,d,e\n"))
+	f.Add([]byte("\"0\",0,1,5,0\n"))
+	f.Add([]byte("9223372036854775807,0,1,5,0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := LoadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly — the property under test
+		}
+		// Validate must be panic-free on anything the parser accepts,
+		// whatever verdict it reaches.
+		_ = tr.Validate(8, 2, 5)
+
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatalf("accepted trace failed to save: %v", err)
+		}
+		back, err := LoadTrace(&buf)
+		if err != nil {
+			t.Fatalf("saved trace failed to reload: %v\nsaved: %q", err, buf.String())
+		}
+		if !reflect.DeepEqual(tr.Entries, back.Entries) {
+			t.Fatalf("round trip changed the trace:\nfirst:  %v\nreload: %v", tr.Entries, back.Entries)
+		}
+	})
+}

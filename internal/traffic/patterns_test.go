@@ -95,6 +95,88 @@ func TestUniformNeverSelf(t *testing.T) {
 	}
 }
 
+// TestPatternsTotalAcrossTopologies: on every topology class and size
+// the harness generates, each legal pattern must be a total function
+// over the terminal space — Dest is defined for every source and always
+// lands in [0, NumTerminals) — and the fixed permutations must stay
+// bijective. This is the property the scenario harness relies on when
+// it pairs patterns with arbitrary topologies.
+func TestPatternsTotalAcrossTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	topos := map[string]topology.Topology{}
+	for _, d := range []struct{ x, y int }{{3, 3}, {4, 2}, {4, 4}, {5, 5}, {8, 8}} {
+		m, err := topology.NewMesh(d.x, d.y, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topos[m.Name()] = m
+	}
+	if tor, err := topology.NewTorus(4, 4, 1); err == nil {
+		topos[tor.Name()] = tor
+	} else {
+		t.Fatal(err)
+	}
+	if df, err := topology.NewDragonfly(2, 4, 2, 9, 1, 3); err == nil {
+		topos["dragonfly:2,4,2,9"] = df
+	} else {
+		t.Fatal(err)
+	}
+	if jf, err := topology.NewJellyfish(10, 1, 3, 1, rand.New(rand.NewSource(1))); err == nil {
+		topos["jellyfish:10,1,3"] = jf
+	} else {
+		t.Fatal(err)
+	}
+	if im, err := topology.NewIrregularMesh(4, 4, 1, 3, rand.New(rand.NewSource(1))); err == nil {
+		topos["irregular:4x4:3"] = im
+	} else {
+		t.Fatal(err)
+	}
+
+	bijective := map[string]bool{
+		"bit_complement": true, "bit_reverse": true, "bit_rotation": true,
+		"shuffle": true, "neighbor": true, "transpose": true,
+	}
+	for name, topo := range topos {
+		t.Run(name, func(t *testing.T) {
+			n := topo.NumTerminals()
+			pow2 := n&(n-1) == 0
+			m, isMesh := topo.(*topology.Mesh)
+			square := isMesh && m.X == m.Y
+			for _, pat := range []string{
+				"uniform_random", "tornado", "neighbor",
+				"bit_complement", "bit_reverse", "bit_rotation", "shuffle", "transpose",
+			} {
+				legal := pow2 || pat == "uniform_random" || pat == "tornado" ||
+					pat == "neighbor" || (pat == "transpose" && square)
+				p, err := ByName(pat, topo)
+				if !legal {
+					if err == nil {
+						t.Errorf("%s on %d terminals accepted, want constraint error", pat, n)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s: %v", pat, err)
+				}
+				seen := map[int]bool{}
+				for src := 0; src < n; src++ {
+					d := p.Dest(src, rng)
+					if d < 0 || d >= n {
+						t.Fatalf("%s: Dest(%d) = %d out of [0,%d)", pat, src, d, n)
+					}
+					if bijective[pat] {
+						if d2 := p.Dest(src, nil); seen[d2] {
+							t.Fatalf("%s: destination %d hit twice", pat, d2)
+						} else {
+							seen[d2] = true
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestByNameErrors(t *testing.T) {
 	m := mesh8(t)
 	if _, err := ByName("nope", m); err == nil {
