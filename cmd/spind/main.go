@@ -1,0 +1,104 @@
+// Command spind is the simulation-as-a-service daemon: an HTTP API over
+// the SPIN simulator with a content-addressed result cache and
+// Prometheus metrics.
+//
+// Endpoints:
+//
+//	POST /v1/simulate   one scenario (harness JSON + optional "check")
+//	POST /v1/sweep      one figure sweep ({"fig":"7", ...})
+//	GET  /healthz       liveness + queue snapshot
+//	GET  /metrics       Prometheus text exposition
+//
+// Identical requests — after canonicalization, so spelling out defaults
+// does not matter — share one cache entry keyed by the SHA-256 of the
+// canonical request plus the result-schema version, and concurrent
+// identical requests run the simulation once. Responses carry X-Cache
+// (hit | miss | shared) and X-Cache-Key headers.
+//
+// The daemon sheds load instead of collapsing: past -queue waiting jobs
+// it answers 429 with Retry-After. SIGINT/SIGTERM drain gracefully —
+// in-flight requests complete before the process exits.
+//
+// Usage:
+//
+//	spind -addr :8080 -cachedir /var/cache/spind
+//	curl -s localhost:8080/healthz
+//	curl -s -d '{"topology":"mesh:8x8","routing":"min_adaptive","scheme":"spin","traffic":"uniform_random","rate":0.05,"cycles":20000,"seed":1}' localhost:8080/v1/simulate
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("spind: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cachedir  = flag.String("cachedir", "", "directory for the on-disk result cache (empty = in-memory only)")
+		cachemem  = flag.Int("cachemem", 0, "in-memory cache entries (0 = default 1024)")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "accepted-but-waiting jobs before shedding 429s (0 = 4x workers)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request simulation budget")
+		maxcycles = flag.Int64("maxcycles", 2_000_000, "largest cycles value a request may ask for")
+		grace     = flag.Duration("grace", time.Minute, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+
+	store, err := cache.Open(*cachedir, *cachemem)
+	if err != nil {
+		log.Fatalf("opening cache: %v", err)
+	}
+	srv, err := serve.New(serve.Config{
+		Cache:     store,
+		Workers:   *workers,
+		QueueSize: *queue,
+		Timeout:   *timeout,
+		MaxCycles: *maxcycles,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	workersEff := *workers
+	if workersEff <= 0 {
+		workersEff = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("listening on %s (workers=%d, cachedir=%q)", *addr, workersEff, *cachedir)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%v: draining (grace %v)", sig, *grace)
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	}
+
+	// Drain: stop accepting connections, let in-flight requests (and the
+	// simulations they wait on) complete, then stop the worker pool.
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	st := srv.Snapshot()
+	log.Printf("bye: %d hits (%d disk), %d misses, %d shared, %d errors",
+		st.Hits, st.DiskHits, st.Misses, st.Shared, st.Errors)
+}

@@ -7,6 +7,10 @@
 // stderr. Results are bit-identical at any worker count for a given
 // -seed. Ctrl-C cancels the sweep promptly.
 //
+// Dispatch and JSON encoding live in internal/exp (Sweep, EncodeJSON)
+// and are shared with the spind daemon's /v1/sweep endpoint, so the CLI
+// and the API emit byte-identical results for identical requests.
+//
 // Usage:
 //
 //	spinsweep -fig 3            # deadlock onset rates
@@ -22,13 +26,11 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
-	"sort"
 	"sync"
 
 	"repro/internal/exp"
@@ -63,67 +65,44 @@ func main() {
 	}
 	emit := func(v interface{}) error {
 		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			return enc.Encode(v)
+			return exp.EncodeJSON(os.Stdout, v)
 		}
 		fmt.Print(v)
 		return nil
 	}
 
-	run := map[string]func(context.Context) (interface{}, error){
-		"3": func(ctx context.Context) (interface{}, error) { return exp.Fig3(ctx, o) },
-		"6": func(ctx context.Context) (interface{}, error) {
-			figs, err := exp.Fig6(ctx, o)
-			return figureList(figs), err
-		},
-		"7": func(ctx context.Context) (interface{}, error) {
-			figs, err := exp.Fig7(ctx, o)
-			return figureList(figs), err
-		},
-		"8a":    func(ctx context.Context) (interface{}, error) { return exp.Fig8a(ctx, o) },
-		"8b":    func(ctx context.Context) (interface{}, error) { return exp.Fig8b(ctx, o) },
-		"9":     func(ctx context.Context) (interface{}, error) { return exp.Fig9(ctx, o) },
-		"10":    func(ctx context.Context) (interface{}, error) { return exp.Fig10(), nil },
-		"costs": func(ctx context.Context) (interface{}, error) { return exp.Costs(), nil },
-		"torus": func(ctx context.Context) (interface{}, error) { return exp.Torus(ctx, o) },
-		"deflection": func(ctx context.Context) (interface{}, error) {
-			return exp.Deflection(ctx, o)
-		},
-	}
 	if *fig == "all" {
 		// All figures dispatch through one shared pool: each figure is a
 		// job whose own points fan out on the same scheduler, and the
 		// buffered results print in canonical order afterwards.
-		keys := []string{"3", "6", "7", "8a", "8b", "9", "10", "costs", "torus", "deflection"}
-		jobs := make([]runner.Job[interface{}], len(keys))
-		for i, k := range keys {
-			k := k
-			jobs[i] = runner.Job[interface{}]{Key: "fig/" + k, Run: func(ctx context.Context, _ int64) (interface{}, error) {
-				return run[k](ctx)
+		ids := exp.SweepIDs()
+		jobs := make([]runner.Job[interface{}], len(ids))
+		for i, id := range ids {
+			id := id
+			jobs[i] = runner.Job[interface{}]{Key: "fig/" + id, Run: func(ctx context.Context, _ int64) (interface{}, error) {
+				return exp.Sweep(ctx, id, o)
 			}}
 		}
 		results, err := runner.Run(ctx, runner.Options{Workers: *workers, Seed: *seed, Progress: o.Progress}, jobs)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for i, k := range keys {
-			fmt.Printf("\n===== fig %s =====\n", k)
-			if err := emitResult(results[i], emit, *asJSON); err != nil {
+		for i, id := range ids {
+			fmt.Printf("\n===== fig %s =====\n", id)
+			if err := emit(results[i]); err != nil {
 				log.Fatal(err)
 			}
 		}
 		return
 	}
-	f, ok := run[*fig]
-	if !ok {
-		log.Fatalf("unknown figure %q", *fig)
+	if err := (exp.SweepRequest{Fig: *fig}).Validate(); err != nil {
+		log.Fatal(err)
 	}
-	v, err := f(ctx)
+	v, err := exp.Sweep(ctx, *fig, o)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := emitResult(v, emit, *asJSON); err != nil {
+	if err := emit(v); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -142,46 +121,4 @@ func progressPrinter() runner.ProgressFunc {
 		fmt.Fprintf(os.Stderr, "spinsweep: [%d/%d] %s (%.1fs) %s\n",
 			e.Done, e.Total, e.Key, e.Elapsed.Seconds(), status)
 	}
-}
-
-// namedFigure pairs a pattern with its figure so figure maps print and
-// encode in a stable order.
-type namedFigure struct {
-	Pattern string
-	Figure  *exp.Figure
-}
-
-// figureList flattens a figure map into pattern-sorted order.
-func figureList(figs map[string]*exp.Figure) []namedFigure {
-	var keys []string
-	for k := range figs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]namedFigure, len(keys))
-	for i, k := range keys {
-		out[i] = namedFigure{Pattern: k, Figure: figs[k]}
-	}
-	return out
-}
-
-// emitResult prints one figure's result, expanding figure lists.
-func emitResult(v interface{}, emit func(interface{}) error, asJSON bool) error {
-	figs, ok := v.([]namedFigure)
-	if !ok {
-		return emit(v)
-	}
-	if asJSON {
-		// Preserve the historical {pattern: figure} JSON shape; Go maps
-		// marshal with sorted keys, so the bytes stay deterministic.
-		m := make(map[string]*exp.Figure, len(figs))
-		for _, nf := range figs {
-			m[nf.Pattern] = nf.Figure
-		}
-		return emit(m)
-	}
-	for _, nf := range figs {
-		fmt.Println(nf.Figure)
-	}
-	return nil
 }

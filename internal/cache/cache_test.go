@@ -1,0 +1,281 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestKeyOf(t *testing.T) {
+	a := KeyOf("v1", []byte(`{"x":1}`))
+	if len(a) != 64 {
+		t.Fatalf("key length %d, want 64 hex chars", len(a))
+	}
+	if a != KeyOf("v1", []byte(`{"x":1}`)) {
+		t.Fatal("KeyOf is not deterministic")
+	}
+	if a == KeyOf("v2", []byte(`{"x":1}`)) {
+		t.Fatal("version not part of the key")
+	}
+	if a == KeyOf("v1", []byte(`{"x":2}`)) {
+		t.Fatal("body not part of the key")
+	}
+	// The separator keeps (version, body) unambiguous.
+	if KeyOf("ab", []byte("c")) == KeyOf("a", []byte("bc")) {
+		t.Fatal("version/body boundary ambiguous")
+	}
+}
+
+func TestMemoryTier(t *testing.T) {
+	s, err := Open("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("k1"); !ok || string(v) != "v1" {
+		t.Fatalf("get = %q, %v", v, ok)
+	}
+	// LRU eviction: touch k1, insert k2 and k3; k2 (coldest) must go.
+	s.Put("k2", []byte("v2"))
+	s.Get("k1")
+	s.Put("k3", []byte("v3"))
+	if _, ok := s.Get("k2"); ok {
+		t.Fatal("k2 survived eviction in a memory-only store")
+	}
+	if _, ok := s.Get("k1"); !ok {
+		t.Fatal("recently-used k1 was evicted")
+	}
+	if st := s.Snapshot(); st.MemEntries != 2 {
+		t.Fatalf("MemEntries = %d, want 2", st.MemEntries)
+	}
+}
+
+func TestDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("aa11", []byte("first"))
+	s.Put("bb22", []byte("second")) // evicts aa11 from memory, not disk
+	v, ok := s.Get("aa11")
+	if !ok || string(v) != "first" {
+		t.Fatalf("disk get = %q, %v", v, ok)
+	}
+	if st := s.Snapshot(); st.DiskHits != 1 {
+		t.Fatalf("DiskHits = %d, want 1", st.DiskHits)
+	}
+	// A second process over the same dir sees the entries.
+	s2, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s2.Get("bb22"); !ok || string(v) != "second" {
+		t.Fatalf("fresh store over same dir: get = %q, %v", v, ok)
+	}
+	// No stray temp files survive.
+	m, _ := filepath.Glob(filepath.Join(dir, "put-*"))
+	if len(m) != 0 {
+		t.Fatalf("leftover temp files: %v", m)
+	}
+}
+
+func TestDiskIgnoresTornTemp(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 4)
+	os.WriteFile(filepath.Join(dir, "put-123"), []byte("torn"), 0o644)
+	if _, ok := s.Get("put-123"); ok {
+		t.Fatal("temp-named file served as an entry")
+	}
+}
+
+// TestDoSingleflight is the acceptance-criterion property: N concurrent
+// identical requests run the computation exactly once, with one Miss and
+// N-1 Shared outcomes.
+func TestDoSingleflight(t *testing.T) {
+	s, _ := Open("", 0)
+	var computes int32
+	gate := make(chan struct{})
+	compute := func(context.Context) ([]byte, error) {
+		atomic.AddInt32(&computes, 1)
+		<-gate
+		return []byte("result"), nil
+	}
+	const n = 8
+	outcomes := make([]Outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, o, err := s.Do(context.Background(), "k", compute)
+			if err != nil || string(v) != "result" {
+				t.Errorf("Do = %q, %v", v, err)
+			}
+			outcomes[i] = o
+		}()
+	}
+	// Let every goroutine join the flight before releasing it.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.InFlight() == 0 || atomic.LoadInt32(&computes) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flight never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for {
+		st := s.Snapshot()
+		if st.Misses+st.Shared == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never gathered: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if got := atomic.LoadInt32(&computes); got != 1 {
+		t.Fatalf("computation ran %d times, want 1", got)
+	}
+	miss, shared := 0, 0
+	for _, o := range outcomes {
+		switch o {
+		case Miss:
+			miss++
+		case Shared:
+			shared++
+		}
+	}
+	if miss != 1 || shared != n-1 {
+		t.Fatalf("outcomes: %d miss, %d shared; want 1, %d", miss, shared, n-1)
+	}
+	st := s.Snapshot()
+	if st.Misses != 1 || st.Shared != n-1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// And the follow-up request is a pure hit.
+	if _, o, _ := s.Do(context.Background(), "k", compute); o != Hit {
+		t.Fatalf("second Do outcome = %v, want Hit", o)
+	}
+}
+
+// TestDoErrorNotCached checks that failures propagate to every waiter
+// and are retried by the next request.
+func TestDoErrorNotCached(t *testing.T) {
+	s, _ := Open("", 0)
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := s.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
+		calls++
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, _, err := s.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
+		calls++
+		return []byte("ok"), nil
+	})
+	if err != nil || string(v) != "ok" || calls != 2 {
+		t.Fatalf("retry: v=%q err=%v calls=%d", v, err, calls)
+	}
+	if st := s.Snapshot(); st.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1", st.Errors)
+	}
+}
+
+// TestDoAbandonCancelsCompute checks the disconnect contract: the
+// computation's context dies only when the last waiter leaves.
+func TestDoAbandonCancelsCompute(t *testing.T) {
+	s, _ := Open("", 0)
+	cancelled := make(chan struct{})
+	started := make(chan struct{})
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	compute := func(fctx context.Context) ([]byte, error) {
+		close(started)
+		<-fctx.Done()
+		close(cancelled)
+		return nil, fctx.Err()
+	}
+	errc := make(chan error, 2)
+	go func() {
+		_, _, err := s.Do(ctx1, "k", compute)
+		errc <- err
+	}()
+	<-started
+	go func() {
+		_, _, err := s.Do(ctx2, "k", func(context.Context) ([]byte, error) {
+			t.Error("second compute started despite flight in progress")
+			return nil, nil
+		})
+		errc <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Snapshot().Shared == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second waiter never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// First waiter leaves: the flight must keep running for the second.
+	cancel1()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first waiter err = %v", err)
+	}
+	select {
+	case <-cancelled:
+		t.Fatal("compute cancelled while a waiter remained")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Last waiter leaves: now the computation must be cancelled.
+	cancel2()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("second waiter err = %v", err)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compute never cancelled after all waiters left")
+	}
+}
+
+// TestDoConcurrentDistinctKeys runs many keys in parallel under the race
+// detector.
+func TestDoConcurrentDistinctKeys(t *testing.T) {
+	s, _ := Open(t.TempDir(), 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := KeyOf("v1", []byte{byte(i % 16)})
+			v, _, err := s.Do(context.Background(), key, func(context.Context) ([]byte, error) {
+				return []byte(fmt.Sprintf("val-%d", i%16)), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if want := fmt.Sprintf("val-%d", i%16); string(v) != want {
+				t.Errorf("key %d: got %q, want %q", i, v, want)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -19,7 +19,7 @@ type fig67Config struct {
 // commercial UGAL + Dally VC ladder baseline against UGAL with free VC
 // use under SPIN (3 VCs), and minimal 1-VC routing against FAvORS-NMin
 // (both only possible with SPIN).
-func Fig6(ctx context.Context, o Options) (map[string]*Figure, error) {
+func Fig6(ctx context.Context, o Options) (Figures, error) {
 	o = o.withDefaults()
 	configs := []fig67Config{
 		{"UGAL_Dally_3VC", "dfly_ugal_ladder", 3},
@@ -34,7 +34,7 @@ func Fig6(ctx context.Context, o Options) (map[string]*Figure, error) {
 // Fig7 reproduces the 8x8 mesh latency-vs-injection-rate curves: the
 // west-first, escape-VC and Static Bubble baselines against minimal
 // adaptive with SPIN (multi-VC), and west-first vs FAvORS-Min at 1 VC.
-func Fig7(ctx context.Context, o Options) (map[string]*Figure, error) {
+func Fig7(ctx context.Context, o Options) (Figures, error) {
 	o = o.withDefaults()
 	configs := []fig67Config{
 		{"WestFirst_3VC", "mesh_westfirst", 3},
@@ -52,7 +52,7 @@ func Fig7(ctx context.Context, o Options) (map[string]*Figure, error) {
 // Every (config, pattern) curve is one runner job; the figure is
 // assembled from the job results in enumeration order, so the output is
 // independent of scheduling.
-func latencyFigures(ctx context.Context, title, figKey, topo string, configs []fig67Config, patterns []string, rates []float64, satLat float64, o Options) (map[string]*Figure, error) {
+func latencyFigures(ctx context.Context, title, figKey, topo string, configs []fig67Config, patterns []string, rates []float64, satLat float64, o Options) (Figures, error) {
 	type slot struct {
 		pattern string
 		config  fig67Config
@@ -85,7 +85,7 @@ func latencyFigures(ctx context.Context, title, figKey, topo string, configs []f
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]*Figure, len(patterns))
+	out := make(Figures, len(patterns))
 	for _, pat := range patterns {
 		out[pat] = &Figure{
 			Title:  title + " — " + pat,

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file is the request ⇄ Scenario round-trip used by the serving
+// subsystem (internal/serve, cmd/spind): a scenario arriving as JSON is
+// decoded strictly, validated, normalized into a canonical form, and
+// re-encoded into canonical bytes. Two requests that describe the same
+// simulation — whether they spell defaults out or omit them — produce
+// identical canonical bytes, and therefore the same content-addressed
+// cache key.
+
+// DecodeScenario reads one scenario from JSON, rejecting unknown fields
+// so a typoed knob ("vc_per_vnet") fails loudly instead of silently
+// simulating something else.
+func DecodeScenario(r io.Reader) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("harness: decode scenario: %w", err)
+	}
+	// A second document in the body is almost certainly a client bug.
+	if dec.More() {
+		return Scenario{}, fmt.Errorf("harness: trailing data after scenario")
+	}
+	return sc, nil
+}
+
+// Validate reports whether the scenario is a runnable request. It checks
+// request-shape errors only; spec-string errors (an unknown topology or
+// routing name) surface from spin.New when the simulation is built.
+func (sc Scenario) Validate() error {
+	switch {
+	case sc.Topology == "":
+		return fmt.Errorf("harness: scenario needs a topology")
+	case sc.Traffic == "":
+		return fmt.Errorf("harness: scenario needs a traffic pattern")
+	case sc.Rate <= 0:
+		return fmt.Errorf("harness: rate must be > 0, got %g", sc.Rate)
+	case sc.Cycles <= 0:
+		return fmt.Errorf("harness: cycles must be > 0, got %d", sc.Cycles)
+	case sc.DataFrac < 0 || sc.DataFrac > 1:
+		return fmt.Errorf("harness: data_frac must be in [0,1], got %g", sc.DataFrac)
+	case sc.VNets < 0 || sc.VCsPerVNet < 0 || sc.VCDepth < 0:
+		return fmt.Errorf("harness: vnets/vcs_per_vnet/vc_depth must be >= 0")
+	case sc.TDD < 0:
+		return fmt.Errorf("harness: tdd must be >= 0, got %d", sc.TDD)
+	case sc.Warmup < 0:
+		return fmt.Errorf("harness: warmup must be >= 0, got %d", sc.Warmup)
+	case sc.Warmup >= sc.Cycles:
+		return fmt.Errorf("harness: warmup %d leaves no measurement window in %d cycles", sc.Warmup, sc.Cycles)
+	case sc.DrainCycles < 0:
+		return fmt.Errorf("harness: drain_cycles must be >= 0, got %d", sc.DrainCycles)
+	}
+	return nil
+}
+
+// Normalized fills every zero-valued knob with the default the simulator
+// would apply anyway, and clears knobs the configuration cannot use, so
+// semantically identical scenarios become structurally identical. The
+// rules mirror spin.New / sim.NewNetwork / traffic.Synthetic defaulting
+// exactly; a normalized scenario simulates bit-identically to its
+// original.
+func (sc Scenario) Normalized() Scenario {
+	if sc.Routing == "" {
+		sc.Routing = "min_adaptive" // spin.BuildRouting's "" alias
+	}
+	if sc.Scheme == "none" {
+		sc.Scheme = "" // spin.New treats "none" and "" alike
+	}
+	if sc.VNets == 0 {
+		sc.VNets = 1
+	}
+	if sc.VCsPerVNet == 0 {
+		sc.VCsPerVNet = 1
+	}
+	if sc.VCDepth == 0 {
+		sc.VCDepth = 5
+	}
+	if sc.DataFrac == 0 {
+		sc.DataFrac = 0.5 // traffic.Synthetic's default long-packet mix
+	}
+	switch sc.Scheme {
+	case "spin", "static_bubble":
+		if sc.TDD == 0 {
+			sc.TDD = 128 // the paper's detection threshold
+		}
+	default:
+		sc.TDD = 0 // no detection timeout exists to configure
+	}
+	return sc
+}
+
+// Canonical returns the scenario's canonical encoding: the JSON of its
+// normalized form. Struct-field order makes the bytes deterministic, so
+// the encoding is a stable content-address input.
+func (sc Scenario) Canonical() []byte {
+	b, err := json.Marshal(sc.Normalized())
+	if err != nil {
+		// Scenario is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("harness: canonical encoding failed: %v", err))
+	}
+	return b
+}
+
+// CanonicalEqual reports whether two scenarios describe the same
+// simulation.
+func CanonicalEqual(a, b Scenario) bool {
+	return bytes.Equal(a.Canonical(), b.Canonical())
+}

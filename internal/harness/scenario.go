@@ -45,6 +45,11 @@ type Scenario struct {
 	// that follows (0 = 20x Cycles).
 	Cycles      int64 `json:"cycles"`
 	DrainCycles int64 `json:"drain_cycles,omitempty"`
+
+	// Warmup delays measurement start (spin.Config.Warmup). The checker
+	// audits raw counters and ignores it; it exists for serving paths
+	// (cmd/spind) where measurement windows matter.
+	Warmup int64 `json:"warmup,omitempty"`
 }
 
 // Config translates the scenario into a top-level simulation config.
@@ -61,6 +66,7 @@ func (sc Scenario) Config() spin.Config {
 		VCDepth:    sc.VCDepth,
 		Seed:       sc.Seed,
 		TDD:        sc.TDD,
+		Warmup:     sc.Warmup,
 	}
 }
 

@@ -7,9 +7,9 @@ func ratio(a, b float64) float64 { return a / b }
 // The 1-VC mesh router should be ~52% (36%) smaller than a 3-VC (2-VC)
 // router — the paper's headline cost claim.
 func TestMeshAreaSavings(t *testing.T) {
-	a1 := RouterArea(DefaultTech, MeshRouter(1, SchemeNone)).Total()
-	a2 := RouterArea(DefaultTech, MeshRouter(2, SchemeNone)).Total()
-	a3 := RouterArea(DefaultTech, MeshRouter(3, SchemeNone)).Total()
+	a1 := RouterArea(Default(), MeshRouter(1, SchemeNone)).Total()
+	a2 := RouterArea(Default(), MeshRouter(2, SchemeNone)).Total()
+	a3 := RouterArea(Default(), MeshRouter(3, SchemeNone)).Total()
 	if s := 1 - ratio(a1, a3); s < 0.45 || s > 0.60 {
 		t.Fatalf("1VC vs 3VC mesh area saving = %.2f, want ~0.52", s)
 	}
@@ -19,8 +19,8 @@ func TestMeshAreaSavings(t *testing.T) {
 }
 
 func TestDragonflyAreaSavings(t *testing.T) {
-	a1 := RouterArea(DefaultTech, DragonflyRouter(1, SchemeNone)).Total()
-	a3 := RouterArea(DefaultTech, DragonflyRouter(3, SchemeNone)).Total()
+	a1 := RouterArea(Default(), DragonflyRouter(1, SchemeNone)).Total()
+	a3 := RouterArea(Default(), DragonflyRouter(3, SchemeNone)).Total()
 	if s := 1 - ratio(a1, a3); s < 0.45 || s > 0.62 {
 		t.Fatalf("1VC vs 3VC dragonfly area saving = %.2f, want ~0.53", s)
 	}
@@ -29,8 +29,8 @@ func TestDragonflyAreaSavings(t *testing.T) {
 // SPIN's modules should cost a few percent of a 3-VC west-first router
 // (the paper reports 4%).
 func TestSPINOverheadSmall(t *testing.T) {
-	base := RouterArea(DefaultTech, MeshRouter(3, SchemeNone)).Total()
-	with := RouterArea(DefaultTech, MeshRouter(3, SchemeSPIN)).Total()
+	base := RouterArea(Default(), MeshRouter(3, SchemeNone)).Total()
+	with := RouterArea(Default(), MeshRouter(3, SchemeSPIN)).Total()
 	over := (with - base) / base
 	if over < 0.02 || over > 0.07 {
 		t.Fatalf("SPIN area overhead = %.3f, want ~0.04", over)
@@ -39,11 +39,11 @@ func TestSPINOverheadSmall(t *testing.T) {
 
 // Scheme overhead ordering of Fig. 10: escape-VC >> static bubble > SPIN.
 func TestFig10Ordering(t *testing.T) {
-	wf := RouterArea(DefaultTech, MeshRouter(1, SchemeNone)).Total()
-	spin := RouterArea(DefaultTech, MeshRouter(1, SchemeSPIN)).Total()
-	sb := RouterArea(DefaultTech, MeshRouter(1, SchemeStaticBubble)).Total()
+	wf := RouterArea(Default(), MeshRouter(1, SchemeNone)).Total()
+	spin := RouterArea(Default(), MeshRouter(1, SchemeSPIN)).Total()
+	sb := RouterArea(Default(), MeshRouter(1, SchemeStaticBubble)).Total()
 	// Escape-VC needs one more VC than the baseline plus escape state.
-	esc := RouterArea(DefaultTech, MeshRouter(2, SchemeEscapeVC)).Total()
+	esc := RouterArea(Default(), MeshRouter(2, SchemeEscapeVC)).Total()
 	if !(spin < sb && sb < esc) {
 		t.Fatalf("overhead ordering broken: spin=%.0f sb=%.0f escape=%.0f (wf=%.0f)", spin, sb, esc, wf)
 	}
@@ -58,14 +58,14 @@ func TestFig10Ordering(t *testing.T) {
 func TestPowerSavings(t *testing.T) {
 	// At equal load, the 1-VC router burns roughly half the power of the
 	// 3-VC one (leakage tracks area; the paper reports 50%).
-	p1 := RouterPower(DefaultTech, MeshRouter(1, SchemeNone), 0)
-	p3 := RouterPower(DefaultTech, MeshRouter(3, SchemeNone), 0)
+	p1 := RouterPower(Default(), MeshRouter(1, SchemeNone), 0)
+	p3 := RouterPower(Default(), MeshRouter(3, SchemeNone), 0)
 	if s := 1 - p1/p3; s < 0.4 || s > 0.65 {
 		t.Fatalf("1VC vs 3VC static power saving = %.2f, want ~0.5", s)
 	}
 	// Dynamic power grows with throughput.
-	lo := RouterPower(DefaultTech, MeshRouter(1, SchemeNone), 0.1)
-	hi := RouterPower(DefaultTech, MeshRouter(1, SchemeNone), 0.9)
+	lo := RouterPower(Default(), MeshRouter(1, SchemeNone), 0.1)
+	hi := RouterPower(Default(), MeshRouter(1, SchemeNone), 0.9)
 	if hi <= lo {
 		t.Fatal("dynamic power not increasing with load")
 	}
@@ -73,8 +73,8 @@ func TestPowerSavings(t *testing.T) {
 
 func TestNetworkEnergyMonotonic(t *testing.T) {
 	c := MeshRouter(2, SchemeSPIN)
-	e1 := NetworkEnergy(DefaultTech, c, 1000, 1000, 1000, 1000, 10000)
-	e2 := NetworkEnergy(DefaultTech, c, 2000, 2000, 2000, 2000, 10000)
+	e1 := NetworkEnergy(Default(), c, 1000, 1000, 1000, 1000, 10000)
+	e2 := NetworkEnergy(Default(), c, 2000, 2000, 2000, 2000, 10000)
 	if e2 <= e1 {
 		t.Fatal("energy not monotonic in activity")
 	}
@@ -84,7 +84,7 @@ func TestNetworkEnergyMonotonic(t *testing.T) {
 }
 
 func TestAreaComponents(t *testing.T) {
-	a := RouterArea(DefaultTech, MeshRouter(3, SchemeSPIN))
+	a := RouterArea(Default(), MeshRouter(3, SchemeSPIN))
 	if a.Buffers <= 0 || a.Crossbar <= 0 || a.Allocators <= 0 || a.SchemeExtra <= 0 {
 		t.Fatalf("missing component: %+v", a)
 	}
@@ -97,8 +97,8 @@ func TestDragonflyLoopBufferScaling(t *testing.T) {
 	// The SPIN module cost grows with log2(radix)·N: the dragonfly router
 	// (radix 15, 256 routers) pays a larger loop buffer than the mesh
 	// router (radix 5, 64 routers), but it stays a small fraction.
-	mesh := RouterArea(DefaultTech, MeshRouter(3, SchemeSPIN))
-	dfly := RouterArea(DefaultTech, DragonflyRouter(3, SchemeSPIN))
+	mesh := RouterArea(Default(), MeshRouter(3, SchemeSPIN))
+	dfly := RouterArea(Default(), DragonflyRouter(3, SchemeSPIN))
 	if dfly.SchemeExtra <= mesh.SchemeExtra {
 		t.Fatalf("dragonfly SPIN modules (%.0f) should exceed mesh (%.0f)", dfly.SchemeExtra, mesh.SchemeExtra)
 	}
@@ -108,7 +108,7 @@ func TestDragonflyLoopBufferScaling(t *testing.T) {
 }
 
 func TestSchemeNoneHasNoExtra(t *testing.T) {
-	if RouterArea(DefaultTech, MeshRouter(2, SchemeNone)).SchemeExtra != 0 {
+	if RouterArea(Default(), MeshRouter(2, SchemeNone)).SchemeExtra != 0 {
 		t.Fatal("SchemeNone charged extra area")
 	}
 }

@@ -1,0 +1,183 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Pool is the long-lived sibling of Run: a fixed set of workers serving
+// a bounded queue of jobs submitted one at a time, built for daemons
+// (cmd/spind) where jobs arrive with requests instead of as a batch.
+//
+// The queue is deliberately bounded and Submit fails fast with
+// ErrQueueFull instead of blocking — a server sheds load (429) rather
+// than accumulating unbounded goroutines until it collapses. Panics in
+// jobs are captured into *PanicError exactly as in Run, so one poisoned
+// request can never take the daemon down.
+type Pool[T any] struct {
+	opts  PoolOptions
+	queue chan poolItem[T]
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	queued  int
+	running int
+	done    int
+	closed  bool
+}
+
+// PoolOptions configure a pool for its lifetime.
+type PoolOptions struct {
+	// Workers is the number of concurrently executing jobs (0 =
+	// GOMAXPROCS).
+	Workers int
+	// QueueSize bounds jobs accepted but not yet running (0 = Workers).
+	// A Submit beyond the bound fails immediately with ErrQueueFull.
+	QueueSize int
+	// Seed is the base seed; each job receives SeedFor(Seed, job.Key).
+	Seed int64
+	// Timeout bounds each job's execution (0 = unlimited), layered under
+	// whatever deadline the Submit context already carries.
+	Timeout time.Duration
+	// OnState, when non-nil, observes every queue transition with the
+	// current (queued, running) sizes. Calls are serialized; the callback
+	// must not call back into the pool.
+	OnState func(queued, running int)
+	// Progress, when non-nil, receives one Event per completed job, with
+	// Done counting completions over the pool's lifetime and Total == 0
+	// (a pool has no fixed job count). Calls are serialized.
+	Progress ProgressFunc
+}
+
+type poolItem[T any] struct {
+	ctx context.Context
+	job Job[T]
+	res chan poolResult[T]
+}
+
+type poolResult[T any] struct {
+	val T
+	err error
+}
+
+// ErrQueueFull is returned by Submit when the pending queue is at
+// capacity. Servers translate it into backpressure (HTTP 429).
+var ErrQueueFull = errors.New("runner: pool queue full")
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("runner: pool closed")
+
+// NewPool starts the workers and returns the pool.
+func NewPool[T any](o PoolOptions) *Pool[T] {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = o.Workers
+	}
+	p := &Pool[T]{opts: o, queue: make(chan poolItem[T], o.QueueSize)}
+	for w := 0; w < o.Workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for item := range p.queue {
+				p.runItem(item)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues one job and waits for its result. It returns
+// ErrQueueFull immediately when the queue is at capacity and
+// ErrPoolClosed after Close; otherwise it blocks until the job finishes
+// or ctx is done. A context expiring while the job is still queued
+// abandons it cheaply — the worker discards the job without running it.
+func (p *Pool[T]) Submit(ctx context.Context, job Job[T]) (T, error) {
+	var zero T
+	item := poolItem[T]{ctx: ctx, job: job, res: make(chan poolResult[T], 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return zero, fmt.Errorf("runner: job %q: %w", job.Key, ErrPoolClosed)
+	}
+	select {
+	case p.queue <- item:
+		p.queued++
+		p.notifyLocked()
+	default:
+		queued, running := p.queued, p.running
+		p.mu.Unlock()
+		return zero, fmt.Errorf("runner: job %q: %w (%d queued, %d running)", job.Key, ErrQueueFull, queued, running)
+	}
+	p.mu.Unlock()
+
+	select {
+	case r := <-item.res:
+		return r.val, r.err
+	case <-ctx.Done():
+		// The worker sees the expired context and skips or cancels the
+		// job; nobody else reads item.res, so dropping it is safe.
+		return zero, fmt.Errorf("runner: job %q: %w", job.Key, ctx.Err())
+	}
+}
+
+// Depth reports the current queue state for health endpoints and tests.
+func (p *Pool[T]) Depth() (queued, running int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued, p.running
+}
+
+// Close stops accepting jobs and waits for every already-queued job to
+// finish. It is idempotent.
+func (p *Pool[T]) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// runItem executes one dequeued job with the shared runOne machinery
+// (seed derivation, per-job timeout, panic capture).
+func (p *Pool[T]) runItem(item poolItem[T]) {
+	p.mu.Lock()
+	p.queued--
+	p.running++
+	p.notifyLocked()
+	p.mu.Unlock()
+
+	start := time.Now()
+	var r poolResult[T]
+	r.val, r.err = runOne(item.ctx, Options{Seed: p.opts.Seed, Timeout: p.opts.Timeout}, item.job)
+	item.res <- r
+
+	p.mu.Lock()
+	p.running--
+	p.done++
+	p.notifyLocked()
+	if p.opts.Progress != nil {
+		p.opts.Progress(Event{
+			Key: item.job.Key, Index: -1, Done: p.done, Total: 0,
+			Err: r.err, Elapsed: time.Since(start),
+		})
+	}
+	p.mu.Unlock()
+}
+
+// notifyLocked fires the queue-state hook; p.mu must be held.
+func (p *Pool[T]) notifyLocked() {
+	if p.opts.OnState != nil {
+		p.opts.OnState(p.queued, p.running)
+	}
+}

@@ -1,0 +1,259 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolSubmitRuns checks the basic result path and that the pool
+// derives job seeds with the same SeedFor contract as Run.
+func TestPoolSubmitRuns(t *testing.T) {
+	p := NewPool[int64](PoolOptions{Workers: 2, Seed: 42})
+	defer p.Close()
+	got, err := p.Submit(context.Background(), Job[int64]{
+		Key: "k1",
+		Run: func(_ context.Context, seed int64) (int64, error) { return seed, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := SeedFor(42, "k1"); got != want {
+		t.Fatalf("seed = %d, want SeedFor(42, k1) = %d", got, want)
+	}
+}
+
+// TestPoolQueueFull pins the load-shedding contract: with the workers
+// busy and the queue at capacity, Submit fails fast with ErrQueueFull
+// instead of blocking.
+func TestPoolQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	p := NewPool[int](PoolOptions{Workers: 1, QueueSize: 1})
+	defer p.Close()
+
+	blocker := func(ctx context.Context, _ int64) (int, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return 0, nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.Submit(context.Background(), Job[int]{Key: "busy", Run: blocker}) }()
+	<-started // the worker is occupied
+	go func() { defer wg.Done(); p.Submit(context.Background(), Job[int]{Key: "queued", Run: blocker}) }()
+	// Wait until the second job occupies the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if q, _ := p.Depth(); q == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued job never showed up in Depth")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := p.Submit(context.Background(), Job[int]{Key: "shed", Run: blocker})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	close(release) // unblock the occupied worker and the queued job
+	wg.Wait()
+}
+
+// TestPoolPanicCapture checks that a panicking job surfaces as a
+// *PanicError naming the job key and leaves the pool fully serviceable —
+// the property cmd/spind relies on to turn panics into 500s instead of
+// crashes.
+func TestPoolPanicCapture(t *testing.T) {
+	p := NewPool[int](PoolOptions{Workers: 1})
+	defer p.Close()
+	_, err := p.Submit(context.Background(), Job[int]{
+		Key: "boom",
+		Run: func(context.Context, int64) (int, error) { panic("kaboom") },
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Key != "boom" {
+		t.Fatalf("panic key = %q, want boom", pe.Key)
+	}
+	// The worker that caught the panic must still serve jobs.
+	got, err := p.Submit(context.Background(), Job[int]{
+		Key: "after",
+		Run: func(context.Context, int64) (int, error) { return 7, nil },
+	})
+	if err != nil || got != 7 {
+		t.Fatalf("pool unusable after panic: got %d, err %v", got, err)
+	}
+}
+
+// TestPoolStateHook records every queue transition and checks the
+// bookkeeping: depth rises while jobs wait, and everything returns to
+// (0, 0) when the pool drains.
+func TestPoolStateHook(t *testing.T) {
+	type state struct{ queued, running int }
+	var (
+		mu     sync.Mutex
+		states []state
+	)
+	release := make(chan struct{})
+	p := NewPool[int](PoolOptions{
+		Workers:   1,
+		QueueSize: 2,
+		OnState: func(q, r int) {
+			mu.Lock()
+			states = append(states, state{q, r})
+			mu.Unlock()
+		},
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Submit(context.Background(), Job[int]{Key: "", Run: func(ctx context.Context, _ int64) (int, error) {
+				<-release
+				return 0, nil
+			}})
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if q, r := p.Depth(); q == 2 && r == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			q, r := p.Depth()
+			t.Fatalf("never reached full load: queued=%d running=%d", q, r)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	p.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(states) == 0 {
+		t.Fatal("no state transitions observed")
+	}
+	maxQ, maxR := 0, 0
+	for _, s := range states {
+		if s.queued > maxQ {
+			maxQ = s.queued
+		}
+		if s.running > maxR {
+			maxR = s.running
+		}
+	}
+	if maxQ != 2 || maxR != 1 {
+		t.Fatalf("peak state = (%d queued, %d running), want (2, 1)", maxQ, maxR)
+	}
+	if last := states[len(states)-1]; last != (state{0, 0}) {
+		t.Fatalf("final state = %+v, want drained (0, 0)", last)
+	}
+}
+
+// TestPoolTimeout applies the pool-level per-job budget.
+func TestPoolTimeout(t *testing.T) {
+	p := NewPool[int](PoolOptions{Workers: 1, Timeout: 10 * time.Millisecond})
+	defer p.Close()
+	_, err := p.Submit(context.Background(), Job[int]{
+		Key: "slow",
+		Run: func(ctx context.Context, _ int64) (int, error) {
+			<-ctx.Done()
+			return 0, ctx.Err()
+		},
+	})
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestPoolCancelWhileQueued checks that a caller whose context dies while
+// its job is still queued returns promptly, and the worker discards the
+// abandoned job instead of running it.
+func TestPoolCancelWhileQueued(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	p := NewPool[int](PoolOptions{Workers: 1, QueueSize: 1})
+	defer p.Close()
+
+	go p.Submit(context.Background(), Job[int]{Key: "busy", Run: func(ctx context.Context, _ int64) (int, error) {
+		started <- struct{}{}
+		<-release
+		return 0, nil
+	}})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := make(chan struct{}, 1)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(ctx, Job[int]{Key: "abandoned", Run: func(context.Context, int64) (int, error) {
+			ran <- struct{}{}
+			return 0, nil
+		}})
+		errc <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if q, _ := p.Depth(); q == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+	p.Close()
+	select {
+	case <-ran:
+		t.Fatal("abandoned job still ran")
+	default:
+	}
+}
+
+// TestPoolClose checks drain-on-close and the post-close Submit error.
+func TestPoolClose(t *testing.T) {
+	var mu sync.Mutex
+	completed := 0
+	p := NewPool[int](PoolOptions{Workers: 2, QueueSize: 4, Progress: func(e Event) {
+		mu.Lock()
+		completed = e.Done
+		mu.Unlock()
+	}})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Submit(context.Background(), Job[int]{Key: "", Run: func(context.Context, int64) (int, error) {
+				time.Sleep(5 * time.Millisecond)
+				return 0, nil
+			}})
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if completed != 4 {
+		t.Fatalf("progress saw %d completions, want 4", completed)
+	}
+	if _, err := p.Submit(context.Background(), Job[int]{Key: "late"}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
+}

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// This file is a dependency-free Prometheus text-exposition registry:
+// counters, gauges, and histograms with optional label pairs, rendered
+// in the version 0.0.4 text format that every Prometheus scraper
+// understands. The official client library would drag in a dependency
+// tree the container does not have; the daemon needs exactly the subset
+// implemented here.
+
+// metricsContentType is the scrape content type.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// registry holds instruments in registration order, the order they
+// render in.
+type registry struct {
+	mu    sync.Mutex
+	insts []renderable
+}
+
+type renderable interface {
+	render(w io.Writer)
+}
+
+func newRegistry() *registry { return &registry{} }
+
+func (r *registry) add(i renderable) {
+	r.mu.Lock()
+	r.insts = append(r.insts, i)
+	r.mu.Unlock()
+}
+
+// writeTo renders every registered instrument.
+func (r *registry) writeTo(w io.Writer) {
+	r.mu.Lock()
+	insts := append([]renderable(nil), r.insts...)
+	r.mu.Unlock()
+	for _, i := range insts {
+		i.render(w)
+	}
+}
+
+// header writes the # HELP / # TYPE preamble.
+func header(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...} with sorted keys ("" for no labels).
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += ","
+		}
+		s += k + `="` + labels[k] + `"`
+	}
+	return s + "}"
+}
+
+// funcCounter renders a counter whose value is owned elsewhere and
+// sampled at scrape time (e.g. the cache store's hit counters).
+type funcCounter struct {
+	name, help string
+	fn         func() float64
+}
+
+func (r *registry) counterFunc(name, help string, fn func() float64) {
+	r.add(&funcCounter{name: name, help: help, fn: fn})
+}
+
+func (c *funcCounter) render(w io.Writer) {
+	header(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %s\n", c.name, formatValue(c.fn()))
+}
+
+// counter is a monotonically increasing sample set, one series per
+// label combination.
+type counter struct {
+	name, help string
+	mu         sync.Mutex
+	series     map[string]float64 // rendered label string -> value
+}
+
+func (r *registry) counter(name, help string) *counter {
+	c := &counter{name: name, help: help, series: map[string]float64{}}
+	r.add(c)
+	return c
+}
+
+// Add increments the unlabeled series.
+func (c *counter) Add(delta float64) { c.AddL(nil, delta) }
+
+// AddL increments the series selected by labels.
+func (c *counter) AddL(labels map[string]string, delta float64) {
+	ls := labelString(labels)
+	c.mu.Lock()
+	c.series[ls] += delta
+	c.mu.Unlock()
+}
+
+// Value reads one series (tests and internal checks).
+func (c *counter) Value(labels map[string]string) float64 {
+	ls := labelString(labels)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.series[ls]
+}
+
+func (c *counter) render(w io.Writer) {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.series))
+	for k := range c.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	header(w, c.name, c.help, "counter")
+	if len(keys) == 0 {
+		fmt.Fprintf(w, "%s 0\n", c.name)
+	}
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s%s %s\n", c.name, k, formatValue(c.series[k]))
+	}
+	c.mu.Unlock()
+}
+
+// gauge is a settable value, optionally backed by a callback evaluated
+// at scrape time (for values owned elsewhere, like queue depth).
+type gauge struct {
+	name, help string
+	mu         sync.Mutex
+	value      float64
+	fn         func() float64
+}
+
+func (r *registry) gauge(name, help string) *gauge {
+	g := &gauge{name: name, help: help}
+	r.add(g)
+	return g
+}
+
+// gaugeFunc registers a gauge sampled by fn at scrape time.
+func (r *registry) gaugeFunc(name, help string, fn func() float64) {
+	r.add(&gauge{name: name, help: help, fn: fn})
+}
+
+// Set stores the value.
+func (g *gauge) Set(v float64) {
+	g.mu.Lock()
+	g.value = v
+	g.mu.Unlock()
+}
+
+func (g *gauge) render(w io.Writer) {
+	v := g.fn
+	header(w, g.name, g.help, "gauge")
+	if v != nil {
+		fmt.Fprintf(w, "%s %s\n", g.name, formatValue(v()))
+		return
+	}
+	g.mu.Lock()
+	fmt.Fprintf(w, "%s %s\n", g.name, formatValue(g.value))
+	g.mu.Unlock()
+}
+
+// histogram is a cumulative-bucket histogram, one series set per label
+// combination.
+type histogram struct {
+	name, help string
+	buckets    []float64 // upper bounds, ascending, +Inf implied
+	mu         sync.Mutex
+	series     map[string]*histSeries
+}
+
+type histSeries struct {
+	counts []uint64 // one per bucket, plus the +Inf overflow at the end
+	sum    float64
+	count  uint64
+}
+
+func (r *registry) histogram(name, help string, buckets []float64) *histogram {
+	h := &histogram{name: name, help: help, buckets: buckets, series: map[string]*histSeries{}}
+	r.add(h)
+	return h
+}
+
+// Observe records a sample into the unlabeled series.
+func (h *histogram) Observe(v float64) { h.ObserveL(nil, v) }
+
+// ObserveL records a sample into the series selected by labels.
+func (h *histogram) ObserveL(labels map[string]string, v float64) {
+	ls := labelString(labels)
+	h.mu.Lock()
+	s := h.series[ls]
+	if s == nil {
+		s = &histSeries{counts: make([]uint64, len(h.buckets)+1)}
+		h.series[ls] = s
+	}
+	i := sort.SearchFloat64s(h.buckets, v) // first bucket with bound >= v
+	s.counts[i]++
+	s.sum += v
+	s.count++
+	h.mu.Unlock()
+}
+
+// Count reads one series' sample count (tests).
+func (h *histogram) Count(labels map[string]string) uint64 {
+	ls := labelString(labels)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s := h.series[ls]; s != nil {
+		return s.count
+	}
+	return 0
+}
+
+func (h *histogram) render(w io.Writer) {
+	h.mu.Lock()
+	keys := make([]string, 0, len(h.series))
+	for k := range h.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	header(w, h.name, h.help, "histogram")
+	for _, k := range keys {
+		s := h.series[k]
+		cum := uint64(0)
+		for i, bound := range h.buckets {
+			cum += s.counts[i]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, withLE(k, formatValue(bound)), cum)
+		}
+		cum += s.counts[len(h.buckets)]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, withLE(k, "+Inf"), cum)
+		fmt.Fprintf(w, "%s_sum%s %s\n", h.name, k, formatValue(s.sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", h.name, k, s.count)
+	}
+	h.mu.Unlock()
+}
+
+// withLE splices the le label into a rendered label string.
+func withLE(rendered, le string) string {
+	if rendered == "" {
+		return `{le="` + le + `"}`
+	}
+	return rendered[:len(rendered)-1] + `,le="` + le + `"}`
+}

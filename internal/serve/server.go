@@ -1,0 +1,423 @@
+// Package serve is the simulation-as-a-service subsystem behind
+// cmd/spind: an HTTP API that accepts canonical-JSON simulation and
+// sweep requests, answers repeats from a content-addressed result cache
+// (internal/cache), and runs misses on a bounded internal/runner pool
+// with per-request timeouts, client-disconnect cancellation, and
+// load-shedding backpressure instead of collapse.
+//
+// The request lifecycle is: strict decode → validate → normalize →
+// content-address (SHA-256 over the canonical encoding plus
+// ResultVersion) → cache.Do, which either replays the stored bytes,
+// joins an identical in-flight computation (singleflight), or leads a
+// new one on the pool. Responses are byte-identical across cache hits
+// forever, because simulations are deterministic in their canonical
+// request.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	spin "repro"
+	"repro/internal/cache"
+	"repro/internal/exp"
+	"repro/internal/harness"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// ResultVersion names the semantics of cached results. It participates
+// in every cache key, so bumping it invalidates all previously stored
+// results. Bump it whenever simulator behaviour or a response/result
+// schema changes (see internal/exp's golden schema test).
+const ResultVersion = "spin-results-v1"
+
+// Config assembles a Server.
+type Config struct {
+	// Cache is the result store (required).
+	Cache *cache.Store
+	// Workers bounds concurrently running jobs (0 = GOMAXPROCS).
+	Workers int
+	// QueueSize bounds accepted-but-not-running jobs (0 = 4x workers);
+	// beyond it the server sheds load with 429 + Retry-After.
+	QueueSize int
+	// Timeout bounds each request's simulation work (0 = 2 minutes).
+	Timeout time.Duration
+	// MaxCycles rejects requests asking for more simulated cycles than
+	// the deployment wants to pay for (0 = 2,000,000).
+	MaxCycles int64
+}
+
+// SimRequest is the /v1/simulate body: a harness scenario plus serving-
+// only knobs. The scenario's own fields (topology, routing, traffic,
+// rate, cycles, seed, ...) are documented on harness.Scenario.
+type SimRequest struct {
+	harness.Scenario
+	// Check attaches the runtime invariant checker and reports its
+	// verdict in the response.
+	Check bool `json:"check,omitempty"`
+}
+
+// normalized returns the canonical form of the request.
+func (r SimRequest) normalized() SimRequest {
+	return SimRequest{Scenario: r.Scenario.Normalized(), Check: r.Check}
+}
+
+// canonical returns the canonical bytes of the request.
+func (r SimRequest) canonical() []byte {
+	b, err := json.Marshal(r.normalized())
+	if err != nil {
+		panic(fmt.Sprintf("serve: canonical encoding failed: %v", err))
+	}
+	return b
+}
+
+// SimStats is the measured outcome of one simulation.
+type SimStats struct {
+	Injected      int64   `json:"injected"`
+	Ejected       int64   `json:"ejected"`
+	AvgLatency    float64 `json:"avg_latency"`
+	AvgNetLatency float64 `json:"avg_net_latency"`
+	MaxLatency    int64   `json:"max_latency"`
+	AvgHops       float64 `json:"avg_hops"`
+	Throughput    float64 `json:"throughput"`
+	Spins         int64   `json:"spins"`
+	// Drained is present only when the request asked for a drain
+	// (drain_cycles > 0).
+	Drained *bool `json:"drained,omitempty"`
+}
+
+// CheckReport is the invariant checker's verdict, present when the
+// request set check.
+type CheckReport struct {
+	OK               bool            `json:"ok"`
+	Violations       []sim.Violation `json:"violations,omitempty"`
+	MaxDeadlockSpell int64           `json:"max_deadlock_spell"`
+}
+
+// SimResponse is the /v1/simulate body: the canonical request echoed
+// back, its content address, and the results.
+type SimResponse struct {
+	Key     string       `json:"key"`
+	Request SimRequest   `json:"request"`
+	Stats   SimStats     `json:"stats"`
+	Check   *CheckReport `json:"check,omitempty"`
+}
+
+// Server is the HTTP serving subsystem. Construct with New; it is ready
+// immediately and stopped with Close.
+type Server struct {
+	cfg   Config
+	store *cache.Store
+	pool  *runner.Pool[[]byte]
+	mux   *http.ServeMux
+	start time.Time
+
+	reg         *registry
+	mRequests   *counter
+	mReqSeconds *histogram
+	mQueued     *gauge
+	mRunning    *gauge
+	mSimCycles  *histogram
+	mSimSeconds *histogram
+
+	// testCompute, when set (tests only), replaces the simulation body
+	// of /v1/simulate pool jobs. It still runs on the pool, so panic
+	// capture and queueing behave exactly as in production.
+	testCompute func(ctx context.Context, req SimRequest) ([]byte, error)
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cache == nil {
+		return nil, fmt.Errorf("serve: Config.Cache is required")
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 2_000_000
+	}
+	if cfg.QueueSize == 0 {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = 1
+		}
+		cfg.QueueSize = 4 * workers
+	}
+	s := &Server{cfg: cfg, store: cfg.Cache, mux: http.NewServeMux(), start: time.Now(), reg: newRegistry()}
+
+	s.mRequests = s.reg.counter("spind_requests_total", "HTTP requests by endpoint and status code.")
+	s.mReqSeconds = s.reg.histogram("spind_request_duration_seconds", "End-to-end request latency by endpoint.",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60})
+	s.mQueued = s.reg.gauge("spind_queue_depth", "Jobs accepted but not yet running.")
+	s.mRunning = s.reg.gauge("spind_inflight_jobs", "Jobs currently executing on the pool.")
+	s.mSimCycles = s.reg.histogram("spind_simulation_cycles", "Simulated cycles per executed request.",
+		[]float64{1e3, 1e4, 1e5, 1e6, 1e7})
+	s.mSimSeconds = s.reg.histogram("spind_simulation_duration_seconds", "Wall-clock time per executed simulation.",
+		[]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120})
+	snap := func(f func(cache.Stats) float64) func() float64 {
+		return func() float64 { return f(s.store.Snapshot()) }
+	}
+	s.reg.counterFunc("spind_cache_hits_total", "Requests answered from the result cache.",
+		snap(func(st cache.Stats) float64 { return float64(st.Hits) }))
+	s.reg.counterFunc("spind_cache_disk_hits_total", "Cache hits served from the disk tier.",
+		snap(func(st cache.Stats) float64 { return float64(st.DiskHits) }))
+	s.reg.counterFunc("spind_cache_misses_total", "Requests that led a new computation.",
+		snap(func(st cache.Stats) float64 { return float64(st.Misses) }))
+	s.reg.counterFunc("spind_singleflight_shared_total", "Requests that joined an identical in-flight computation.",
+		snap(func(st cache.Stats) float64 { return float64(st.Shared) }))
+	s.reg.counterFunc("spind_compute_errors_total", "Led computations that failed (never cached).",
+		snap(func(st cache.Stats) float64 { return float64(st.Errors) }))
+	s.reg.gaugeFunc("spind_cache_mem_entries", "Entries in the in-memory cache tier.",
+		snap(func(st cache.Stats) float64 { return float64(st.MemEntries) }))
+	s.reg.gaugeFunc("spind_uptime_seconds", "Seconds since the daemon started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	s.pool = runner.NewPool[[]byte](runner.PoolOptions{
+		Workers:   cfg.Workers,
+		QueueSize: cfg.QueueSize,
+		Timeout:   cfg.Timeout,
+		OnState: func(queued, running int) {
+			s.mQueued.Set(float64(queued))
+			s.mRunning.Set(float64(running))
+		},
+	})
+
+	s.mux.HandleFunc("/v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool. Call after the HTTP listener has shut
+// down, so no request is still waiting on a job.
+func (s *Server) Close() { s.pool.Close() }
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request counter and latency
+// histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.mRequests.AddL(map[string]string{"endpoint": endpoint, "code": fmt.Sprint(sw.code)}, 1)
+		s.mReqSeconds.ObserveL(map[string]string{"endpoint": endpoint}, time.Since(start).Seconds())
+	}
+}
+
+// handleHealthz reports liveness plus a queue snapshot.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.pool.Depth()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","uptime_seconds":%.1f,"queued":%d,"running":%d}`+"\n",
+		time.Since(s.start).Seconds(), queued, running)
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metricsContentType)
+	s.reg.writeTo(w)
+}
+
+// errBadRequest marks errors caused by the request content (as opposed
+// to server state), mapped to 400.
+type errBadRequest struct{ err error }
+
+func (e errBadRequest) Error() string { return e.err.Error() }
+func (e errBadRequest) Unwrap() error { return e.err }
+
+// handleSimulate is POST /v1/simulate.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a scenario JSON body", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SimRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Cycles > s.cfg.MaxCycles || req.DrainCycles > 100*s.cfg.MaxCycles {
+		http.Error(w, fmt.Sprintf("bad request: cycles beyond this server's limit (%d)", s.cfg.MaxCycles), http.StatusBadRequest)
+		return
+	}
+	n := req.normalized()
+	key := cache.KeyOf(ResultVersion+"/simulate", n.canonical())
+	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
+		return s.pool.Submit(ctx, runner.Job[[]byte]{Key: key, Run: func(jctx context.Context, _ int64) ([]byte, error) {
+			if s.testCompute != nil {
+				return s.testCompute(jctx, n)
+			}
+			return s.runSimulation(jctx, n, key)
+		}})
+	})
+}
+
+// handleSweep is POST /v1/sweep.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a sweep request JSON body", http.StatusMethodNotAllowed)
+		return
+	}
+	req, err := exp.DecodeSweepRequest(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	n := req.Normalized()
+	if n.Cycles > s.cfg.MaxCycles {
+		http.Error(w, fmt.Sprintf("bad request: cycles beyond this server's limit (%d)", s.cfg.MaxCycles), http.StatusBadRequest)
+		return
+	}
+	key := cache.KeyOf(ResultVersion+"/sweep", n.Canonical())
+	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
+		return s.pool.Submit(ctx, runner.Job[[]byte]{Key: key, Run: func(jctx context.Context, _ int64) ([]byte, error) {
+			o := n.Options()
+			o.Workers = s.cfg.Workers
+			v, err := exp.Sweep(jctx, n.Fig, o)
+			if err != nil {
+				return nil, err
+			}
+			// The figure's canonical JSON IS the response body — the
+			// same bytes spinsweep -json prints, so CLI and API can
+			// never drift.
+			var buf bytes.Buffer
+			if err := exp.EncodeJSON(&buf, v); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		}})
+	})
+}
+
+// serveCached is the shared request tail: consult the cache (deduping
+// concurrent identical requests), run the computation on a miss, map
+// failure modes to status codes, and emit the result with cache
+// metadata headers.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(context.Context) ([]byte, error)) {
+	body, outcome, err := s.store.Do(r.Context(), key, compute)
+	if err != nil {
+		s.writeError(w, r, key, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", outcome.String())
+	w.Header().Set("X-Cache-Key", key)
+	w.Write(body)
+}
+
+// writeError maps computation failures onto HTTP semantics.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, key string, err error) {
+	var pe *runner.PanicError
+	var bad errBadRequest
+	switch {
+	case r.Context().Err() != nil:
+		// The client is gone; nothing can be written. 499 (nginx's
+		// "client closed request") keeps the metrics honest.
+		w.WriteHeader(499)
+	case errors.Is(err, runner.ErrQueueFull):
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, "overloaded: job queue full, retry later", http.StatusTooManyRequests)
+	case errors.Is(err, runner.ErrPoolClosed):
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, fmt.Sprintf("simulation exceeded the per-request budget (%v)", s.cfg.Timeout), http.StatusGatewayTimeout)
+	case errors.As(err, &pe):
+		// The panic is captured, the daemon lives on; the job key lets
+		// operators replay the poisoned request.
+		http.Error(w, fmt.Sprintf("internal error: job %s panicked: %v", pe.Key, pe.Value), http.StatusInternalServerError)
+	case errors.As(err, &bad):
+		http.Error(w, "bad request: "+bad.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, "internal error: "+err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// runSimulation executes one canonical scenario and renders the
+// response bytes that get cached.
+func (s *Server) runSimulation(ctx context.Context, req SimRequest, key string) ([]byte, error) {
+	start := time.Now()
+	sc := req.Scenario
+	simulation, err := spin.New(sc.Config())
+	if err != nil {
+		// The specs parsed as JSON but name unknown topologies/routings:
+		// the client's fault, not the server's.
+		return nil, errBadRequest{err}
+	}
+	var checker *sim.InvariantChecker
+	if req.Check {
+		net := simulation.Network()
+		checker = net.AttachChecker(sc.CheckOptions(net.NumRouters()))
+	}
+	if err := runner.Cycles(ctx, simulation.Run, sc.Cycles); err != nil {
+		return nil, err
+	}
+	st := simulation.Stats()
+	resp := SimResponse{
+		Key:     key,
+		Request: req,
+		Stats: SimStats{
+			Injected:      st.Injected,
+			Ejected:       st.Ejected,
+			AvgLatency:    st.AvgLatency(),
+			AvgNetLatency: st.AvgNetLatency(),
+			MaxLatency:    st.MaxLatency,
+			AvgHops:       st.AvgHops(),
+			Throughput:    simulation.Throughput(),
+			Spins:         st.Spins,
+		},
+	}
+	if sc.DrainCycles > 0 {
+		drained := simulation.Drain(sc.DrainCycles)
+		resp.Stats.Drained = &drained
+	}
+	if checker != nil {
+		violations := checker.Violations()
+		resp.Check = &CheckReport{
+			OK:               len(violations) == 0,
+			Violations:       violations,
+			MaxDeadlockSpell: checker.MaxDeadlockSpell(),
+		}
+	}
+	s.mSimCycles.Observe(float64(sc.Cycles))
+	s.mSimSeconds.Observe(time.Since(start).Seconds())
+	var buf bytes.Buffer
+	if err := exp.EncodeJSON(&buf, resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Snapshot exposes cache statistics (cmd/spind logs them on shutdown).
+func (s *Server) Snapshot() cache.Stats { return s.store.Snapshot() }

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the spind daemon: build, boot with a temp
+# cache dir, wait for /healthz, run one small mesh simulation twice and
+# assert the repeat is a cache hit with byte-identical body, scrape
+# /metrics, then SIGTERM mid-flight and assert the in-flight request
+# still completes (graceful drain). Run from the repo root; CI runs it
+# in the smoke job.
+set -euo pipefail
+
+ADDR="127.0.0.1:${SPIND_PORT:-18080}"
+TMP="$(mktemp -d)"
+trap 'kill "$SPIND_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== build"
+go build -o "$TMP/spind" ./cmd/spind
+
+echo "== boot (cachedir $TMP/cache)"
+"$TMP/spind" -addr "$ADDR" -cachedir "$TMP/cache" &
+SPIND_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$SPIND_PID" 2>/dev/null; then echo "spind died during startup" >&2; exit 1; fi
+  sleep 0.2
+done
+curl -fsS "http://$ADDR/healthz"
+
+BODY='{"topology":"mesh:8x8","routing":"min_adaptive","scheme":"spin","traffic":"uniform_random","rate":0.05,"cycles":5000,"seed":1}'
+
+echo "== first request (expect miss)"
+curl -fsS -D "$TMP/h1" -o "$TMP/r1" -d "$BODY" "http://$ADDR/v1/simulate"
+grep -i '^x-cache: miss' "$TMP/h1" || { echo "first request was not a miss:"; cat "$TMP/h1"; exit 1; }
+
+echo "== second request (expect hit, byte-identical)"
+curl -fsS -D "$TMP/h2" -o "$TMP/r2" -d "$BODY" "http://$ADDR/v1/simulate"
+grep -i '^x-cache: hit' "$TMP/h2" || { echo "repeat was not a cache hit:"; cat "$TMP/h2"; exit 1; }
+cmp "$TMP/r1" "$TMP/r2" || { echo "cache hit not byte-identical"; exit 1; }
+
+echo "== metrics scrape"
+curl -fsS "http://$ADDR/metrics" | tee "$TMP/metrics" | grep -E '^spind_cache_(hits|misses)_total'
+grep -q '^spind_cache_hits_total 1$' "$TMP/metrics"
+grep -q '^spind_cache_misses_total 1$' "$TMP/metrics"
+
+echo "== graceful drain: SIGTERM with a request in flight"
+SLOW='{"topology":"mesh:8x8","routing":"min_adaptive","scheme":"spin","traffic":"uniform_random","rate":0.05,"cycles":200000,"seed":7}'
+curl -fsS -o "$TMP/slow" -d "$SLOW" "http://$ADDR/v1/simulate" &
+CURL_PID=$!
+sleep 0.5                    # let the simulation start
+kill -TERM "$SPIND_PID"
+wait "$CURL_PID" || { echo "in-flight request failed during drain"; exit 1; }
+grep -q '"stats"' "$TMP/slow" || { echo "drained response incomplete"; exit 1; }
+wait "$SPIND_PID"
+
+echo "smoke: OK"
