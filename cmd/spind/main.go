@@ -8,6 +8,7 @@
 //	POST /v1/sweep      one figure sweep ({"fig":"7", ...})
 //	GET  /healthz       liveness + queue snapshot
 //	GET  /metrics       Prometheus text exposition
+//	GET  /debug/pprof/  net/http/pprof profiling of the live daemon
 //
 // Identical requests — after canonicalization, so spelling out defaults
 // does not matter — share one cache entry keyed by the SHA-256 of the
@@ -32,6 +33,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -72,7 +74,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The API handler takes every path except the profiling namespace:
+	// /debug/pprof is served by net/http/pprof for live CPU/heap/goroutine
+	// inspection of a running daemon (go tool pprof
+	// http://host:port/debug/pprof/profile).
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	hs := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	workersEff := *workers

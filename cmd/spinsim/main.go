@@ -14,6 +14,7 @@
 //	        -traffic uniform_random -rate 0.3 -cycles 100000
 //	spinsim -preset mesh_favors_min -traffic transpose -rate 0.25
 //	spinsim -preset mesh_favors_min -rate 0.3 -seeds 8 -workers 4
+//	spinsim -topo mesh:8x8 -rate 0.28 -cycles 20000 -cpuprofile cpu.pb
 package main
 
 import (
@@ -24,6 +25,8 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	spin "repro"
@@ -58,8 +61,36 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent replicates when -seeds > 1 (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "per-run time budget (0 = unlimited), e.g. 2m")
 		progress = flag.Bool("progress", false, "report run completions (and single-run progress) to stderr")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprof  = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSignals()
 

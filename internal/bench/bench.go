@@ -1,0 +1,206 @@
+// Package bench measures the simulator's hot path — ns, heap bytes and
+// heap allocations per simulated cycle — over a fixed matrix of
+// workloads (mesh, torus, dragonfly at low and saturation load), and
+// compares runs against the committed baseline BENCH_sim.json.
+//
+// The baseline carries a machine-speed calibration: the time per
+// iteration of a fixed integer kernel measured on the machine that wrote
+// the file. A regression check scales the baseline's ns/cycle by the
+// ratio of the current machine's calibration to the baseline's, so the
+// gate tracks simulator regressions rather than hardware differences.
+// Allocation and byte counts are machine-independent and compare
+// directly.
+//
+// Regenerate the baseline after a deliberate perf change:
+//
+//	go test ./internal/bench -run TestBenchRegression -update
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	spin "repro"
+)
+
+// Workload is one benchmarked configuration.
+type Workload struct {
+	// Name keys the workload in BENCH_sim.json.
+	Name string
+	// Cfg is the simulation under test.
+	Cfg spin.Config
+	// Warmup cycles run before measurement: long enough that buffers,
+	// scratch slices and the packet/SM pools reach steady state.
+	Warmup int64
+	// Cycles measured.
+	Cycles int64
+}
+
+// Result is one workload's measurement.
+type Result struct {
+	Name           string  `json:"name"`
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+	Cycles         int64   `json:"cycles"`
+}
+
+// Report is the BENCH_sim.json schema.
+type Report struct {
+	// Schema guards against comparing incompatible file versions.
+	Schema int `json:"schema"`
+	// GoVersion that produced the baseline (informational).
+	GoVersion string `json:"go_version"`
+	// CalibrationNs is the fixed integer kernel's ns/iteration on the
+	// producing machine; regression checks scale ns/cycle by the ratio of
+	// the current machine's calibration to this.
+	CalibrationNs float64  `json:"calibration_ns"`
+	Workloads     []Result `json:"workloads"`
+}
+
+// Schema is the current BENCH_sim.json schema version.
+const Schema = 1
+
+// Workloads is the benchmark matrix. Saturation rates sit at the highest
+// load where source queues stay bounded (measured on this tree), so
+// steady state recycles every packet through the pool; past that edge the
+// growing backlog genuinely allocates and allocs/cycle cannot be zero.
+func Workloads() []Workload {
+	mk := func(name, topo, routing string, rate float64) Workload {
+		return Workload{
+			Name: name,
+			Cfg: spin.Config{
+				Topology:   topo,
+				Routing:    routing,
+				Scheme:     "spin",
+				VCsPerVNet: 3,
+				Traffic:    "uniform_random",
+				Rate:       rate,
+				Seed:       17,
+			},
+			Warmup: 4000,
+			Cycles: 2000,
+		}
+	}
+	return []Workload{
+		mk("mesh8x8/low", "mesh:8x8", "min_adaptive", 0.05),
+		mk("mesh8x8/sat", "mesh:8x8", "min_adaptive", 0.28),
+		mk("torus8x8/low", "torus:8x8", "min_adaptive", 0.05),
+		mk("torus8x8/sat", "torus:8x8", "min_adaptive", 0.45),
+		mk("dfly64/low", "dragonfly:4,4,4,16", "ugal_spin", 0.05),
+		mk("dfly64/sat", "dragonfly:4,4,4,16", "ugal_spin", 0.20),
+	}
+}
+
+// Measure runs one workload and reports per-cycle cost. The warmup phase
+// is excluded; a GC between warmup and measurement keeps the measured
+// Mallocs delta attributable to the measured cycles.
+func Measure(w Workload) (Result, error) {
+	s, err := spin.New(w.Cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench %s: %w", w.Name, err)
+	}
+	s.Run(w.Warmup)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	s.Run(w.Cycles)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(w.Cycles)
+	return Result{
+		Name:           w.Name,
+		NsPerCycle:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerCycle:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		Cycles:         w.Cycles,
+	}, nil
+}
+
+// calibrationSink defeats dead-code elimination of the kernel.
+var calibrationSink uint64
+
+// Calibrate times a fixed xorshift kernel and reports ns/iteration — a
+// pure-integer, cache-resident proxy for the machine's scalar speed. The
+// minimum of three runs rejects scheduling noise.
+func Calibrate() float64 {
+	const iters = 1 << 25
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		x := uint64(0x9E3779B97F4A7C15)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		elapsed := float64(time.Since(start).Nanoseconds()) / iters
+		calibrationSink += x
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best
+}
+
+// Collect measures every workload (best ns of reps runs each; allocation
+// counts come from the first run, which is deterministic) and stamps the
+// report with the machine calibration.
+func Collect(reps int) (Report, error) {
+	rep := Report{Schema: Schema, GoVersion: runtime.Version(), CalibrationNs: Calibrate()}
+	for _, w := range Workloads() {
+		var best Result
+		for i := 0; i < reps; i++ {
+			r, err := Measure(w)
+			if err != nil {
+				return Report{}, err
+			}
+			if i == 0 {
+				best = r
+			} else if r.NsPerCycle < best.NsPerCycle {
+				best.NsPerCycle = r.NsPerCycle
+			}
+		}
+		rep.Workloads = append(rep.Workloads, best)
+	}
+	return rep, nil
+}
+
+// Load reads a report from path.
+func Load(path string) (Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return Report{}, fmt.Errorf("bench: %s has schema %d, want %d (regenerate with -update)", path, r.Schema, Schema)
+	}
+	return r, nil
+}
+
+// Write emits the report as indented JSON to path.
+func (r Report) Write(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Find returns the named workload result.
+func (r Report) Find(name string) (Result, bool) {
+	for _, w := range r.Workloads {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Result{}, false
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	spin "repro"
+)
+
+var update = flag.Bool("update", false, "rewrite BENCH_sim.json from this machine's measurements")
+
+const baselineFile = "BENCH_sim.json"
+
+// TestBenchRegression is the performance gate: current per-cycle cost
+// versus the committed BENCH_sim.json baseline. ns/cycle is compared
+// after scaling the baseline by the machines' calibration ratio and
+// allowing 10% noise; allocations and bytes per cycle are
+// machine-independent and compare directly (allocations near-exactly,
+// bytes with slack for allocator bucketing).
+//
+// The wall-clock limit only fails the test when BENCH_STRICT is set in
+// the environment (the CI bench job sets it and runs this package
+// alone). Under a plain `go test ./...`, other test binaries run
+// concurrently and contend for the CPU, so an over-limit timing is
+// reported but not fatal; the allocation and byte gates are
+// contention-immune and always enforce.
+func TestBenchRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation distorts timing and allocation counts")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cur, err := Collect(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := cur.Write(baselineFile); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (calibration %.3f ns/op)", baselineFile, cur.CalibrationNs)
+		return
+	}
+	base, err := Load(baselineFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := cur.CalibrationNs / base.CalibrationNs
+	t.Logf("machine calibration: baseline %.3f ns/op, current %.3f ns/op (scale %.2fx)",
+		base.CalibrationNs, cur.CalibrationNs, scale)
+	for _, got := range cur.Workloads {
+		want, ok := base.Find(got.Name)
+		if !ok {
+			t.Errorf("%s: not in baseline; run with -update", got.Name)
+			continue
+		}
+		limit := want.NsPerCycle * scale * 1.10
+		t.Logf("%-14s %8.0f ns/cycle (limit %8.0f)  %6.3f allocs/cycle  %8.1f B/cycle",
+			got.Name, got.NsPerCycle, limit, got.AllocsPerCycle, got.BytesPerCycle)
+		if got.NsPerCycle > limit {
+			msg := "%s: %.0f ns/cycle exceeds %.0f (baseline %.0f x calibration %.2f x 1.10)"
+			if os.Getenv("BENCH_STRICT") != "" {
+				t.Errorf(msg, got.Name, got.NsPerCycle, limit, want.NsPerCycle, scale)
+			} else {
+				t.Logf(msg+" — advisory only; set BENCH_STRICT=1 to enforce",
+					got.Name, got.NsPerCycle, limit, want.NsPerCycle, scale)
+			}
+		}
+		if got.AllocsPerCycle > want.AllocsPerCycle+0.01 {
+			t.Errorf("%s: %.3f allocs/cycle exceeds baseline %.3f",
+				got.Name, got.AllocsPerCycle, want.AllocsPerCycle)
+		}
+		if got.BytesPerCycle > want.BytesPerCycle*1.5+64 {
+			t.Errorf("%s: %.1f B/cycle exceeds baseline %.1f by more than 1.5x+64",
+				got.Name, got.BytesPerCycle, want.BytesPerCycle)
+		}
+	}
+}
+
+// TestStepAllocBudget pins the steady-state allocation discipline:
+// after warmup — pools populated, scratch buffers grown, source queues
+// at their plateau — Network.Step must not allocate at all. The runs are
+// deterministic (fixed seed, sequential cycles), so the budget is exact,
+// not statistical.
+func TestStepAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	for _, name := range []string{"mesh8x8/sat", "dfly64/sat"} {
+		t.Run(name, func(t *testing.T) {
+			var w Workload
+			for _, cand := range Workloads() {
+				if cand.Name == name {
+					w = cand
+				}
+			}
+			if w.Name == "" {
+				t.Fatalf("workload %s not defined", name)
+			}
+			s, err := spin.New(w.Cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Run(8000)
+			if avg := testing.AllocsPerRun(300, func() { s.Run(1) }); avg != 0 {
+				t.Errorf("steady-state Step allocates %.4f objects/cycle, want 0", avg)
+			}
+		})
+	}
+}
+
+// BenchmarkStep exposes the workload matrix to `go test -bench` so CI
+// and benchstat see standard ns/op + allocs/op series per cycle.
+func BenchmarkStep(b *testing.B) {
+	for _, w := range Workloads() {
+		b.Run(w.Name, func(b *testing.B) {
+			s, err := spin.New(w.Cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Run(w.Warmup)
+			b.ReportAllocs()
+			b.ResetTimer()
+			s.Run(int64(b.N))
+		})
+	}
+}
+
+// BenchmarkCalibration publishes the machine-speed kernel so benchmark
+// artifacts record the hardware context next to the simulator numbers.
+func BenchmarkCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		x := uint64(0x9E3779B97F4A7C15)
+		for j := 0; j < 1024; j++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		calibrationSink += x
+	}
+}

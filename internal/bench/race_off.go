@@ -1,0 +1,9 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build.
+// Timing and allocation gates are meaningless under ~10x instrumentation
+// overhead (and the runtime itself allocates), so the regression and
+// allocation-budget tests skip themselves when it is on.
+const raceEnabled = false

@@ -41,6 +41,11 @@ type ringAgent struct {
 	r      *sim.Router
 }
 
+// Quiescent implements sim.Quiescer: bubble flow control is a pure
+// send/inject filter with a no-op Tick, so the agent never needs the
+// engine's agent phase.
+func (a *ringAgent) Quiescent() bool { return true }
+
 // ringOf classifies a VC's link into its ring: dimension (0 = x, 1 = y)
 // and the fixed coordinate. Terminal ports return (-1, -1).
 func (b *RingBubble) ringOf(router, port int) (int, int) {

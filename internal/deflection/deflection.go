@@ -42,6 +42,8 @@ type Network struct {
 	queues [][]*Flit // per-terminal source queues
 	nextID uint64
 
+	minScratch []int // productivePorts reuse; valid until the next call
+
 	// Stats.
 	Injected, Ejected int64
 	LatencySum        int64
@@ -91,7 +93,8 @@ func (n *Network) Inject(src, dst int) {
 
 // productivePorts lists directions that reduce distance to dst.
 func (n *Network) productivePorts(r, dst int) []int {
-	return n.mesh.MinimalPorts(r, dst)
+	n.minScratch = n.mesh.MinimalPortsInto(n.minScratch[:0], r, dst)
+	return n.minScratch
 }
 
 // Step advances one cycle: age-order flits at each router, eject one

@@ -1,0 +1,104 @@
+package deflection
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestProductivePortsMatchMinimal: the scratch-backed productive-port
+// lookup must agree with the topology's allocating MinimalPorts on every
+// pair, including consecutive calls (the scratch is reused, so a second
+// lookup must not corrupt the comparison semantics of the first's use).
+func TestProductivePortsMatchMinimal(t *testing.T) {
+	m := mesh(t, 4, 4)
+	n := New(m, 1)
+	for r := 0; r < 16; r++ {
+		for dst := 0; dst < 16; dst++ {
+			got := append([]int(nil), n.productivePorts(r, dst)...)
+			want := m.MinimalPorts(r, dst)
+			if len(want) == 0 {
+				want = []int{}
+			}
+			if len(got) == 0 {
+				got = []int{}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("productivePorts(%d, %d) = %v, want %v", r, dst, got, want)
+			}
+		}
+	}
+	// Back-to-back lookups share one scratch buffer; the latest call must
+	// win without mixing in the earlier result.
+	_ = n.productivePorts(0, 15)
+	second := n.productivePorts(15, 0)
+	if !reflect.DeepEqual(append([]int(nil), second...), m.MinimalPorts(15, 0)) {
+		t.Fatalf("scratch reuse corrupted second lookup: %v", second)
+	}
+}
+
+// TestLinkPorts tables the wired-port census of a 4x4 mesh: corners have
+// two links, edges three, the interior four.
+func TestLinkPorts(t *testing.T) {
+	m := mesh(t, 4, 4)
+	n := New(m, 1)
+	cases := []struct {
+		name   string
+		router int
+		want   int
+	}{
+		{"corner", 0, 2},
+		{"opposite corner", 15, 2},
+		{"edge", 1, 3},
+		{"interior", 5, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := len(n.linkPorts(tc.router)); got != tc.want {
+				t.Fatalf("router %d has %d wired ports, want %d", tc.router, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestEjectAccounting tables the measurement-window rule: flits injected
+// at or after StatsStart count toward latency, earlier ones only toward
+// the raw ejection total.
+func TestEjectAccounting(t *testing.T) {
+	cases := []struct {
+		name             string
+		statsStart       int64
+		injectCycle, now int64
+		wantMeasured     int64
+		wantLatency      int64
+	}{
+		{"inside window", 0, 10, 25, 1, 15},
+		{"before window", 100, 10, 25, 0, 0},
+		{"on the boundary", 10, 10, 25, 1, 15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := New(mesh(t, 2, 2), 1)
+			n.StatsStart = tc.statsStart
+			n.now = tc.now
+			n.eject(&Flit{InjectCycle: tc.injectCycle})
+			if n.Ejected != 1 {
+				t.Fatalf("Ejected = %d, want 1", n.Ejected)
+			}
+			if n.EjectedMeasured != tc.wantMeasured {
+				t.Fatalf("EjectedMeasured = %d, want %d", n.EjectedMeasured, tc.wantMeasured)
+			}
+			if n.LatencySum != tc.wantLatency {
+				t.Fatalf("LatencySum = %d, want %d", n.LatencySum, tc.wantLatency)
+			}
+		})
+	}
+}
+
+// TestAvgLatencyEmptyWindow: no measured ejections must read as zero,
+// not NaN.
+func TestAvgLatencyEmptyWindow(t *testing.T) {
+	n := New(mesh(t, 2, 2), 1)
+	if got := n.AvgLatency(); got != 0 {
+		t.Fatalf("AvgLatency on empty window = %v, want 0", got)
+	}
+}

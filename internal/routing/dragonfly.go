@@ -15,6 +15,9 @@ type DflyMinimal struct {
 	Dfly     *topology.Dragonfly
 	VCLadder bool
 	VCs      int // VCs per vnet, needed for ladder masks
+
+	tbl     *portTable // lazily built canonical paths (ladder mode only)
+	scratch []int
 }
 
 // Name implements sim.RoutingAlgorithm.
@@ -38,12 +41,24 @@ func ladderMask(globalHops, vcs int) uint32 {
 
 // minPorts picks the path model: the VC ladder requires canonical
 // local-global-local minimal paths (a second global hop would outrun the
-// ladder); free-VC configurations may use any BFS-minimal port.
+// ladder); free-VC configurations may use any BFS-minimal port. Both
+// variants serve from precomputed tables; the result is valid until the
+// next call on this instance.
 func (d *DflyMinimal) minPorts(r, dst int) []int {
 	if d.VCLadder {
-		return d.Dfly.CanonicalMinimalPorts(r, dst)
+		if d.tbl == nil {
+			d.tbl = canonicalPortTable(d.Dfly)
+		}
+		d.scratch = d.tbl.appendPorts(d.scratch[:0], r, dst)
+		return d.scratch
 	}
-	return d.Dfly.MinimalPorts(r, dst)
+	d.scratch = d.Dfly.MinimalPortsInto(d.scratch[:0], r, dst)
+	return d.scratch
+}
+
+// canonicalPortTable precomputes CanonicalMinimalPorts for all pairs.
+func canonicalPortTable(dfly *topology.Dragonfly) *portTable {
+	return buildPortTable(dfly.NumRouters(), dfly.CanonicalMinimalPorts)
 }
 
 // Route implements sim.RoutingAlgorithm.
@@ -69,6 +84,10 @@ type UGAL struct {
 	Dfly     *topology.Dragonfly
 	VCLadder bool
 	VCs      int
+
+	tbl     *portTable // lazily built canonical paths (ladder mode only)
+	scratch []int
+	vcBuf   []*sim.VC
 }
 
 // Name implements sim.RoutingAlgorithm.
@@ -126,11 +145,10 @@ func (u *UGAL) portCongestion(r *sim.Router, ports []int, p *sim.Packet) int64 {
 		mask = ladderMask(0, u.VCs)
 	}
 	best := int64(1) << 30
-	var buf []*sim.VC
 	for _, port := range ports {
-		buf = r.DownstreamVCs(port, p.VNet, mask, buf[:0])
+		u.vcBuf = r.DownstreamVCs(port, p.VNet, mask, u.vcBuf[:0])
 		var occ int64
-		for _, vc := range buf {
+		for _, vc := range u.vcBuf {
 			occ += int64(vc.Len())
 		}
 		if occ < best {
@@ -140,12 +158,18 @@ func (u *UGAL) portCongestion(r *sim.Router, ports []int, p *sim.Packet) int64 {
 	return best
 }
 
-// minPorts mirrors DflyMinimal.minPorts for the UGAL phases.
+// minPorts mirrors DflyMinimal.minPorts for the UGAL phases. The result
+// aliases the instance scratch buffer and is valid until the next call.
 func (u *UGAL) minPorts(r, dst int) []int {
 	if u.VCLadder {
-		return u.Dfly.CanonicalMinimalPorts(r, dst)
+		if u.tbl == nil {
+			u.tbl = canonicalPortTable(u.Dfly)
+		}
+		u.scratch = u.tbl.appendPorts(u.scratch[:0], r, dst)
+		return u.scratch
 	}
-	return u.Dfly.MinimalPorts(r, dst)
+	u.scratch = u.Dfly.MinimalPortsInto(u.scratch[:0], r, dst)
+	return u.scratch
 }
 
 // Route implements sim.RoutingAlgorithm.

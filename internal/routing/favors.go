@@ -23,6 +23,20 @@ type FAvORS struct {
 	// NonMinimal enables the source-side Valiant decision (FAvORS-NMin);
 	// false gives FAvORS-Min.
 	NonMinimal bool
+
+	into func([]int, int, int) []int
+	// AtSource compares the minimal and Valiant port sets side by side, so
+	// it needs two live buffers; Route reuses the first.
+	scratch  []int
+	scratch2 []int
+}
+
+// minInto lazily resolves the zero-allocation minimal-port accessor.
+func (f *FAvORS) minInto() func([]int, int, int) []int {
+	if f.into == nil {
+		f.into = minimalSource(f.Topo)
+	}
+	return f.into
 }
 
 // Name implements sim.RoutingAlgorithm.
@@ -39,7 +53,8 @@ func (f *FAvORS) AtSource(r *sim.Router, p *sim.Packet) {
 		return
 	}
 	src, dst := p.SrcRouter, p.DstRouter
-	minPorts := f.Topo.MinimalPorts(src, dst)
+	f.scratch = f.minInto()(f.scratch[:0], src, dst)
+	minPorts := f.scratch
 	if len(minPorts) == 0 {
 		return
 	}
@@ -55,7 +70,8 @@ func (f *FAvORS) AtSource(r *sim.Router, p *sim.Packet) {
 	if mid == src || mid == dst {
 		return
 	}
-	midPorts := f.Topo.MinimalPorts(src, mid)
+	f.scratch2 = f.minInto()(f.scratch2[:0], src, mid)
+	midPorts := f.scratch2
 	if len(midPorts) == 0 {
 		return
 	}
@@ -83,7 +99,8 @@ func minActiveOver(r *sim.Router, ports []int, p *sim.Packet) int64 {
 // phase-local destination with the FAvORS selection function.
 func (f *FAvORS) Route(r *sim.Router, _ int, p *sim.Packet, buf []sim.PortRequest) []sim.PortRequest {
 	dst := p.RouteDst()
-	ports := f.Topo.MinimalPorts(r.ID, dst)
+	f.scratch = f.minInto()(f.scratch[:0], r.ID, dst)
+	ports := f.scratch
 	mustPorts(f.Name(), ports, r.ID, dst)
 	port := pickAdaptive(r, ports, p.VNet, sim.AllVCs, p.Length)
 	return append(buf, sim.PortRequest{Port: port, VCMask: sim.AllVCs})

@@ -11,6 +11,8 @@ import (
 type XY struct {
 	sim.BaseRouting
 	Mesh *topology.Mesh
+
+	tbl []uint8 // lazily built n×n dimension-ordered port table
 }
 
 // Name implements sim.RoutingAlgorithm.
@@ -18,8 +20,23 @@ func (x *XY) Name() string { return "xy" }
 
 // Route implements sim.RoutingAlgorithm.
 func (x *XY) Route(r *sim.Router, _ int, p *sim.Packet, buf []sim.PortRequest) []sim.PortRequest {
-	port := xyPort(x.Mesh, r.ID, p.RouteDst())
+	if x.tbl == nil {
+		x.tbl = buildXYTable(x.Mesh)
+	}
+	port := int(x.tbl[r.ID*x.Mesh.NumRouters()+p.RouteDst()])
 	return append(buf, sim.PortRequest{Port: port, VCMask: sim.AllVCs})
+}
+
+// buildXYTable precomputes xyPort for every (cur, dst) pair.
+func buildXYTable(m *topology.Mesh) []uint8 {
+	n := m.NumRouters()
+	tbl := make([]uint8, n*n)
+	for cur := 0; cur < n; cur++ {
+		for dst := 0; dst < n; dst++ {
+			tbl[cur*n+dst] = uint8(xyPort(m, cur, dst))
+		}
+	}
+	return tbl
 }
 
 // XYPort computes the dimension-ordered output port from cur toward dst.
@@ -55,6 +72,9 @@ func xyPort(m *topology.Mesh, cur, dst int) int {
 type WestFirst struct {
 	sim.BaseRouting
 	Mesh *topology.Mesh
+
+	tbl     *portTable // lazily built west-first port sets
+	scratch []int
 }
 
 // Name implements sim.RoutingAlgorithm.
@@ -62,7 +82,13 @@ func (w *WestFirst) Name() string { return "westfirst" }
 
 // Route implements sim.RoutingAlgorithm.
 func (w *WestFirst) Route(r *sim.Router, _ int, p *sim.Packet, buf []sim.PortRequest) []sim.PortRequest {
-	ports := westFirstPorts(w.Mesh, r.ID, p.RouteDst(), nil)
+	if w.tbl == nil {
+		w.tbl = buildPortTable(w.Mesh.NumRouters(), func(cur, dst int) []int {
+			return westFirstPorts(w.Mesh, cur, dst, nil)
+		})
+	}
+	w.scratch = w.tbl.appendPorts(w.scratch[:0], r.ID, p.RouteDst())
+	ports := w.scratch
 	mustPorts(w.Name(), ports, r.ID, p.RouteDst())
 	port := pickAdaptive(r, ports, p.VNet, sim.AllVCs, p.Length)
 	return append(buf, sim.PortRequest{Port: port, VCMask: sim.AllVCs})
@@ -97,6 +123,9 @@ type MinAdaptive struct {
 	// RoutingName lets configurations label the algorithm (e.g.
 	// "favors_min"); empty means "min_adaptive".
 	RoutingName string
+
+	into    func([]int, int, int) []int
+	scratch []int
 }
 
 // Name implements sim.RoutingAlgorithm.
@@ -109,7 +138,11 @@ func (a *MinAdaptive) Name() string {
 
 // Route implements sim.RoutingAlgorithm.
 func (a *MinAdaptive) Route(r *sim.Router, _ int, p *sim.Packet, buf []sim.PortRequest) []sim.PortRequest {
-	ports := a.Topo.MinimalPorts(r.ID, p.RouteDst())
+	if a.into == nil {
+		a.into = minimalSource(a.Topo)
+	}
+	a.scratch = a.into(a.scratch[:0], r.ID, p.RouteDst())
+	ports := a.scratch
 	mustPorts(a.Name(), ports, r.ID, p.RouteDst())
 	port := pickAdaptive(r, ports, p.VNet, sim.AllVCs, p.Length)
 	return append(buf, sim.PortRequest{Port: port, VCMask: sim.AllVCs})
@@ -125,6 +158,9 @@ type EscapeVC struct {
 	Mesh *topology.Mesh
 	// VCs is the total VCs per vnet (must be >= 2: one escape + regulars).
 	VCs int
+
+	xyTbl   []uint8
+	scratch []int
 }
 
 // Name implements sim.RoutingAlgorithm.
@@ -137,12 +173,17 @@ func (e *EscapeVC) regularMask() uint32 {
 
 // Route implements sim.RoutingAlgorithm.
 func (e *EscapeVC) Route(r *sim.Router, _ int, p *sim.Packet, buf []sim.PortRequest) []sim.PortRequest {
+	if e.xyTbl == nil {
+		e.xyTbl = buildXYTable(e.Mesh)
+	}
 	dst := p.RouteDst()
-	ports := e.Mesh.MinimalPorts(r.ID, dst)
+	e.scratch = e.Mesh.MinimalPortsInto(e.scratch[:0], r.ID, dst)
+	ports := e.scratch
 	mustPorts(e.Name(), ports, r.ID, dst)
 	adaptive := pickAdaptive(r, ports, p.VNet, e.regularMask(), p.Length)
 	buf = append(buf, sim.PortRequest{Port: adaptive, VCMask: e.regularMask()})
 	// Escape request: dimension-ordered port, escape VC only.
-	buf = append(buf, sim.PortRequest{Port: xyPort(e.Mesh, r.ID, dst), VCMask: 1})
+	escape := int(e.xyTbl[r.ID*e.Mesh.NumRouters()+dst])
+	buf = append(buf, sim.PortRequest{Port: escape, VCMask: 1})
 	return buf
 }

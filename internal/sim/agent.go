@@ -28,6 +28,16 @@ type Agent interface {
 	FilterInject(vc *VC, p *Packet) bool
 }
 
+// Quiescer is an optional Agent extension. An agent that implements it
+// reports, each cycle, whether its Tick would be a no-op given the
+// router's current state; the engine then skips Tick for routers with no
+// buffered flits and a quiescent agent. Agents without the method are
+// conservatively ticked every cycle. Quiescent must only return true when
+// skipping Tick is observably identical to running it.
+type Quiescer interface {
+	Quiescent() bool
+}
+
 // Scheme builds the per-router Agents of a deadlock-freedom scheme and
 // describes it for tables.
 type Scheme interface {

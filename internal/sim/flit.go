@@ -46,6 +46,11 @@ type Packet struct {
 	Hops, Misroutes int
 	// Checksum is an end-to-end payload integrity token.
 	Checksum uint64
+
+	// pooled marks packets owned by the engine's free list: created by the
+	// internal traffic-generation path and recycled on tail ejection when
+	// no observer could retain the pointer.
+	pooled bool
 }
 
 // checksumFor derives the expected payload token for a packet identity.

@@ -19,9 +19,10 @@ type smTransit struct {
 // one flit (or one SM) may enter per cycle and each traversal takes
 // Latency cycles.
 type link struct {
-	topo  topology.Link
-	index int
-	dst   *Router
+	topo   topology.Link
+	index  int
+	dst    *Router
+	global bool // dragonfly global channel (precomputed at build)
 
 	flits []flitTransit
 	sms   []smTransit

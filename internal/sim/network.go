@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -74,10 +75,19 @@ type Network struct {
 	pktID   uint64
 	stats   Stats
 
-	inNetwork int // packets injected (head) but not fully ejected
+	inNetwork     int // packets injected (head) but not fully ejected
+	queuedPackets int // packets waiting in NIC source queues (incremental)
 
 	flitBuf []flitTransit
 	smBuf   []smTransit
+
+	// Hot-path scratch and free lists.
+	activeRouters []*Router // routers stepped this cycle (ascending id)
+	linkActive    []uint64  // bitset of links with traffic in flight
+	pktPool       []*Packet // recycled traffic-generated packets
+	smPool        []*SM     // recycled special messages
+	injectTerm    int       // terminal the stored traffic closure injects at
+	injectFn      func(PacketSpec)
 
 	// ejectHook, when set, observes every ejected packet (tests, traces).
 	ejectHook func(*Packet)
@@ -108,6 +118,15 @@ func NewNetwork(cfg Config) (*Network, error) {
 		r := n.routers[topo.TerminalRouter(t)]
 		n.nics[t] = &NIC{term: t, router: r, port: topo.TerminalPort(t)}
 	}
+	for _, l := range n.links {
+		l.global = n.isGlobalHop(l)
+	}
+	n.linkActive = make([]uint64, (len(n.links)+63)/64)
+	n.activeRouters = make([]*Router, 0, len(n.routers))
+	// One stored closure serves every terminal's traffic generation; the
+	// per-cycle loop in Step repoints injectTerm instead of allocating a
+	// fresh closure per terminal per cycle.
+	n.injectFn = func(spec PacketSpec) { n.inject(n.injectTerm, spec, true) }
 	if cfg.Scheme != nil {
 		cfg.Scheme.Attach(n)
 	}
@@ -142,8 +161,15 @@ func (n *Network) RNG() *rand.Rand { return n.rng }
 // ejection not finished).
 func (n *Network) InFlight() int { return n.inNetwork }
 
-// QueuedPackets reports packets waiting in NIC source queues.
-func (n *Network) QueuedPackets() int {
+// QueuedPackets reports packets waiting in NIC source queues. The count
+// is maintained incrementally at push/pop; RecountQueuedPackets is the
+// brute-force cross-check.
+func (n *Network) QueuedPackets() int { return n.queuedPackets }
+
+// RecountQueuedPackets recomputes QueuedPackets by scanning every NIC —
+// the original O(terminals) accessor, kept for auditing the incremental
+// counter.
+func (n *Network) RecountQueuedPackets() int {
 	total := 0
 	for _, nic := range n.nics {
 		total += nic.QueueLen()
@@ -152,7 +178,11 @@ func (n *Network) QueuedPackets() int {
 }
 
 // SetAgent installs a deadlock agent on a router (called by schemes).
-func (n *Network) SetAgent(router int, a Agent) { n.routers[router].agent = a }
+func (n *Network) SetAgent(router int, a Agent) {
+	r := n.routers[router]
+	r.agent = a
+	r.qagent, _ = a.(Quiescer)
+}
 
 // SetEjectHook registers an observer for every ejected packet.
 func (n *Network) SetEjectHook(f func(*Packet)) { n.ejectHook = f }
@@ -163,6 +193,16 @@ func (n *Network) measuring() bool { return n.now >= n.cfg.StatsStart }
 // routing algorithm's source hook. Tests and traffic replay use it
 // directly; open-loop traffic goes through Config.Traffic.
 func (n *Network) InjectPacket(src int, spec PacketSpec) *Packet {
+	// Packets injected through the public API are never pooled: callers
+	// routinely retain the pointer past ejection (tests, trace capture).
+	return n.inject(src, spec, false)
+}
+
+// inject creates (or recycles) a packet and enqueues it at src's NIC.
+// Pooled packets come from — and on ejection return to — the free list;
+// only the engine's own traffic-generation path uses pooling, and only
+// while no eject observer could retain the pointer.
+func (n *Network) inject(src int, spec PacketSpec, pooled bool) *Packet {
 	if spec.Length <= 0 || spec.Length > n.cfg.MaxPktLen {
 		panic(fmt.Sprintf("sim: packet length %d outside (0,%d]", spec.Length, n.cfg.MaxPktLen))
 	}
@@ -170,7 +210,16 @@ func (n *Network) InjectPacket(src int, spec PacketSpec) *Packet {
 		panic(fmt.Sprintf("sim: vnet %d out of range", spec.VNet))
 	}
 	n.pktID++
-	p := &Packet{
+	var p *Packet
+	if pooled && len(n.pktPool) > 0 {
+		k := len(n.pktPool) - 1
+		p = n.pktPool[k]
+		n.pktPool[k] = nil
+		n.pktPool = n.pktPool[:k]
+	} else {
+		p = new(Packet)
+	}
+	*p = Packet{
 		ID:           n.pktID,
 		Src:          src,
 		Dst:          spec.Dst,
@@ -180,11 +229,36 @@ func (n *Network) InjectPacket(src int, spec PacketSpec) *Packet {
 		Length:       spec.Length,
 		GenCycle:     n.now,
 		Intermediate: -1,
+		pooled:       pooled,
 	}
 	p.Checksum = checksumFor(p.ID, p.Src, p.Dst, p.Length)
 	n.cfg.Routing.AtSource(n.routers[p.SrcRouter], p)
 	n.nics[src].push(p)
+	n.queuedPackets++
 	return p
+}
+
+// allocSM pulls a recycled special message from the free list (keeping
+// its Path capacity) or allocates a fresh one.
+func (n *Network) allocSM() *SM {
+	if k := len(n.smPool); k > 0 {
+		sm := n.smPool[k-1]
+		n.smPool[k-1] = nil
+		n.smPool = n.smPool[:k-1]
+		path := sm.Path[:0]
+		*sm = SM{Path: path, pooled: true}
+		return sm
+	}
+	return &SM{pooled: true}
+}
+
+// freeSM returns a pool-owned SM to the free list. SMs built directly by
+// tests (composite literals) are left to the garbage collector.
+func (n *Network) freeSM(sm *SM) {
+	if sm == nil || !sm.pooled {
+		return
+	}
+	n.smPool = append(n.smPool, sm)
 }
 
 // Step advances the simulation by one cycle.
@@ -194,42 +268,50 @@ func (n *Network) Step() {
 	// 2. Traffic generation and NIC injection.
 	if n.cfg.Traffic != nil {
 		for t := range n.nics {
-			n.cfg.Traffic.Generate(n.now, t, n.rng, func(spec PacketSpec) {
-				n.InjectPacket(t, spec)
-			})
+			n.injectTerm = t
+			n.cfg.Traffic.Generate(n.now, t, n.rng, n.injectFn)
 		}
 	}
 	for t := range n.nics {
 		n.nics[t].injectStep(n)
 	}
-	// 3. Route computation for freshly arrived heads.
+	// Active-set worklist: the remaining stages only touch routers with
+	// buffered flits, pending SMs, a spin in flight, or an awake agent.
+	// Everything that could wake a router this cycle has happened by now
+	// (arrivals, SM delivery, injection), and stale per-router scratch is
+	// cleared lazily by each stage when the router next runs.
+	active := n.activeRouters[:0]
 	for _, r := range n.routers {
+		if r.active() {
+			active = append(active, r)
+		}
+	}
+	n.activeRouters = active
+	// 3. Route computation for freshly arrived heads.
+	for _, r := range active {
 		r.routeStage()
 	}
 	// 4. Deadlock agents.
-	for _, r := range n.routers {
+	for _, r := range active {
 		if r.agent != nil {
 			r.agent.Tick()
 		}
 	}
 	// 5. Spin claims, then SM arbitration onto links.
-	for _, r := range n.routers {
+	for _, r := range active {
 		r.claimSpinPorts()
 	}
-	for _, r := range n.routers {
+	for _, r := range active {
 		r.resolveSMs()
 	}
 	// 6. Switch allocation and flit transmission.
-	for _, r := range n.routers {
-		for p := range r.inUsed {
-			r.inUsed[p] = false
-			r.outUsed[p] = false
-		}
+	for _, r := range active {
+		r.clearUsed()
 	}
-	for _, r := range n.routers {
+	for _, r := range active {
 		r.spinStage()
 	}
-	for _, r := range n.routers {
+	for _, r := range active {
 		r.saStage()
 	}
 	if n.checker != nil {
@@ -243,44 +325,67 @@ func (n *Network) Step() {
 }
 
 // deliverArrivals moves flits and SMs that complete link traversal this
-// cycle into input VCs and agent inboxes.
+// cycle into input VCs and agent inboxes. Only links with traffic in
+// flight are visited (the active-link bitset), in ascending link order —
+// the same order the full scan used.
 func (n *Network) deliverArrivals() {
-	for _, l := range n.links {
-		n.flitBuf = n.flitBuf[:0]
-		n.smBuf = n.smBuf[:0]
-		n.flitBuf, n.smBuf = l.takeArrivals(n.now, n.flitBuf, n.smBuf)
-		for _, t := range n.flitBuf {
-			t.dst.inFlight--
-			t.dst.enqueue(t.flit, n.now)
-			if n.measuring() {
-				n.stats.BufferWrites++
-			}
-			if t.flit.IsHead() {
-				pkt := t.flit.Pkt
-				pkt.Hops++
-				// Misroute accounting: a hop that fails to reduce the
-				// distance to the phase-local destination.
-				cur, prev := l.dst.ID, l.topo.Src
-				topo := n.cfg.Topology
-				if topo.Distance(cur, pkt.RouteDst()) >= topo.Distance(prev, pkt.RouteDst()) {
-					pkt.Misroutes++
-				}
-				if n.isGlobalHop(l) {
-					pkt.GlobalHops++
-				}
-			}
-		}
-		if len(n.smBuf) > 1 {
-			sort.SliceStable(n.smBuf, func(i, j int) bool {
-				return n.smBuf[i].sm.Kind.ClassPriority() > n.smBuf[j].sm.Kind.ClassPriority()
-			})
-		}
-		for _, t := range n.smBuf {
-			if a := l.dst.agent; a != nil {
-				a.HandleSM(t.sm, l.topo.DstPort)
+	for w, word := range n.linkActive {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			l := n.links[w*64+b]
+			n.deliverLink(l)
+			if len(l.flits) == 0 && len(l.sms) == 0 {
+				n.linkActive[w] &^= 1 << uint(b)
 			}
 		}
 	}
+}
+
+func (n *Network) deliverLink(l *link) {
+	n.flitBuf = n.flitBuf[:0]
+	n.smBuf = n.smBuf[:0]
+	n.flitBuf, n.smBuf = l.takeArrivals(n.now, n.flitBuf, n.smBuf)
+	for _, t := range n.flitBuf {
+		t.dst.inFlight--
+		t.dst.enqueue(t.flit, n.now)
+		if n.measuring() {
+			n.stats.BufferWrites++
+		}
+		if t.flit.IsHead() {
+			pkt := t.flit.Pkt
+			pkt.Hops++
+			// Misroute accounting: a hop that fails to reduce the
+			// distance to the phase-local destination.
+			cur, prev := l.dst.ID, l.topo.Src
+			topo := n.cfg.Topology
+			if topo.Distance(cur, pkt.RouteDst()) >= topo.Distance(prev, pkt.RouteDst()) {
+				pkt.Misroutes++
+			}
+			if l.global {
+				pkt.GlobalHops++
+			}
+		}
+	}
+	if len(n.smBuf) > 1 {
+		sort.SliceStable(n.smBuf, func(i, j int) bool {
+			return n.smBuf[i].sm.Kind.ClassPriority() > n.smBuf[j].sm.Kind.ClassPriority()
+		})
+	}
+	for _, t := range n.smBuf {
+		if a := l.dst.agent; a != nil {
+			a.HandleSM(t.sm, l.topo.DstPort)
+		}
+		// Delivered SMs are dead: agents copy (CloneSM) anything they
+		// forward and never retain the original.
+		n.freeSM(t.sm)
+	}
+}
+
+// markLinkActive records that link i has traffic in flight, so
+// deliverArrivals will visit it.
+func (n *Network) markLinkActive(i int) {
+	n.linkActive[i>>6] |= 1 << uint(i&63)
 }
 
 // isGlobalHop reports whether a link is a dragonfly global channel.
@@ -328,6 +433,12 @@ func (n *Network) ejected(f Flit) {
 	}
 	if n.checker != nil {
 		n.checker.onEject(p)
+	}
+	// Recycle traffic-generated packets, but only while nothing outside
+	// the engine could have retained the pointer: eject observers (hooks,
+	// the invariant checker) may legitimately hold ejected packets.
+	if p.pooled && n.ejectHook == nil && n.checker == nil {
+		n.pktPool = append(n.pktPool, p)
 	}
 }
 

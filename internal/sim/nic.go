@@ -3,12 +3,17 @@ package sim
 // NIC is a network interface: a per-terminal source queue injecting flits
 // into the attached router's terminal-port VCs (one flit per cycle) and a
 // stall-free sink for ejected flits.
+//
+// The queue is a sliding ring over one backing array: pops advance head
+// instead of reslicing the front away, so a steady-state queue reuses its
+// capacity instead of reallocating on every push.
 type NIC struct {
 	term   int
 	router *Router
 	port   int // terminal input port at the router
 
 	queue  []*Packet
+	head   int // index of the front packet in queue
 	cur    *Packet
 	curVC  *VC
 	curSeq int
@@ -16,24 +21,46 @@ type NIC struct {
 
 // QueueLen reports the number of packets waiting at the source, including
 // the one mid-injection.
-func (n *NIC) QueueLen() int { return len(n.queue) }
+func (n *NIC) QueueLen() int { return len(n.queue) - n.head }
 
 // push enqueues a freshly generated packet.
 func (n *NIC) push(p *Packet) { n.queue = append(n.queue, p) }
+
+// pop removes and returns the front packet.
+func (n *NIC) pop() *Packet {
+	p := n.queue[n.head]
+	n.queue[n.head] = nil
+	n.head++
+	if n.head == len(n.queue) {
+		n.queue = n.queue[:0]
+		n.head = 0
+	} else if n.head >= 32 && n.head*2 >= len(n.queue) {
+		// Compact once the dead prefix dominates, keeping pushes O(1)
+		// amortised without unbounded growth of the backing array.
+		kept := copy(n.queue, n.queue[n.head:])
+		for i := kept; i < len(n.queue); i++ {
+			n.queue[i] = nil
+		}
+		n.queue = n.queue[:kept]
+		n.head = 0
+	}
+	return p
+}
 
 // injectStep moves at most one flit into the router this cycle.
 func (n *NIC) injectStep(net *Network) {
 	now := net.now
 	if n.cur == nil {
-		if len(n.queue) == 0 {
+		if n.head == len(n.queue) {
 			return
 		}
-		p := n.queue[0]
+		p := n.queue[n.head]
 		v := n.pickVC(net, p)
 		if v == nil {
 			return
 		}
-		n.queue = n.queue[1:]
+		n.pop()
+		net.queuedPackets--
 		n.cur, n.curVC, n.curSeq = p, v, 0
 		p.InjectCycle = now
 		net.inNetwork++

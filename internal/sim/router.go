@@ -16,17 +16,30 @@ type Router struct {
 	localPorts int
 
 	in      [][]*VC // [port][vcIdx]
+	vcFlat  []*VC   // all input VCs in (port, vcIdx) order, for the SA scan
 	outLink []*link // per output port; nil for terminal/unwired ports
 
-	agent Agent
+	agent  Agent
+	qagent Quiescer // agent's optional quiescence probe (nil: always active)
 
-	// Per-cycle scratch state.
-	smSends     [][]*SM // per output port: SMs competing for the link
-	smBusy      []bool  // output port carries an SM this cycle
-	spinClaimed []bool  // output port claimed by a spinning VC this cycle
-	inUsed      []bool
-	outUsed     []bool
-	rrPtr       int
+	// Occupancy counters backing the active-set worklists: a router is
+	// stepped only when one of them is non-zero (or its agent is awake).
+	flitCount   int // buffered flits across all input VCs
+	occupied    int // input VCs with at least one buffered flit
+	spinningVCs int // VCs force-transmitting a spin this cycle
+	smPending   int // SMs offered via SendSM awaiting arbitration
+
+	// Per-cycle scratch state. The dirty flags record that a scratch array
+	// holds non-zero entries, so skipped cycles never pay the clear loops
+	// and stale state is cleared lazily at each stage's next run.
+	smSends          [][]*SM // per output port: SMs competing for the link
+	smBusy           []bool  // output port carries an SM this cycle
+	smBusyDirty      bool
+	spinClaimed      []bool // output port claimed by a spinning VC this cycle
+	spinClaimedDirty bool
+	inUsed           []bool
+	outUsed          []bool
+	usedDirty        bool
 
 	routeBuf []PortRequest
 }
@@ -48,13 +61,28 @@ func newRouter(n *Network, id int) *Router {
 		outUsed:     make([]bool, radix),
 	}
 	vcs := n.cfg.VNets * n.cfg.VCsPerVNet
+	r.vcFlat = make([]*VC, 0, radix*vcs)
 	for p := 0; p < radix; p++ {
 		r.in[p] = make([]*VC, vcs)
 		for k := 0; k < vcs; k++ {
-			r.in[p][k] = &VC{router: r, port: p, index: k, depth: n.cfg.VCDepth, outPort: -1}
+			v := &VC{router: r, port: p, index: k, depth: n.cfg.VCDepth, outPort: -1}
+			r.in[p][k] = v
+			r.vcFlat = append(r.vcFlat, v)
 		}
 	}
 	return r
+}
+
+// active reports whether the router needs to be stepped this cycle: it
+// holds flits, has SM or spin work pending, or its agent is awake.
+func (r *Router) active() bool {
+	if r.flitCount > 0 || r.smPending > 0 || r.spinningVCs > 0 {
+		return true
+	}
+	if r.agent == nil {
+		return false
+	}
+	return r.qagent == nil || !r.qagent.Quiescent()
 }
 
 // Net returns the owning network.
@@ -181,9 +209,27 @@ func (r *Router) MinActiveTime(p, vnet int, mask uint32) int64 {
 // bufferless).
 func (r *Router) SendSM(p int, sm *SM) {
 	if !r.HasOutLink(p) {
+		r.net.freeSM(sm)
 		return
 	}
 	r.smSends[p] = append(r.smSends[p], sm)
+	r.smPending++
+}
+
+// NewSM returns a zeroed special message from the network's free list.
+// Agents should build SMs with it (and CloneSM) so that steady-state SM
+// traffic allocates nothing; SMs the engine drops or delivers are
+// recycled automatically.
+func (r *Router) NewSM() *SM { return r.net.allocSM() }
+
+// CloneSM returns a pooled deep copy of m, for forking or forwarding.
+func (r *Router) CloneSM(m *SM) *SM {
+	c := r.net.allocSM()
+	path := c.Path
+	*c = *m
+	c.pooled = true
+	c.Path = append(path[:0], m.Path...)
+	return c
 }
 
 // FreezeVC marks the VC as frozen: it no longer participates in normal
@@ -202,7 +248,10 @@ func (r *Router) StartSpin(v *VC, outPort int, target *VC) {
 	if v.FrontPacket() == nil {
 		return
 	}
-	v.spinning = true
+	if !v.spinning {
+		v.spinning = true
+		r.spinningVCs++
+	}
 	v.frozen = false
 	v.outPort = outPort
 	v.target = target
@@ -212,9 +261,16 @@ func (r *Router) StartSpin(v *VC, outPort int, target *VC) {
 // routeStage computes port requests for every VC whose resident head flit
 // has reached the front and is not yet routed.
 func (r *Router) routeStage() {
-	for p := 0; p < r.radix; p++ {
+	// Only VCs holding flits can need routing; stop once every occupied VC
+	// has been visited (no enqueue happens during this stage).
+	left := r.occupied
+	for p := 0; p < r.radix && left > 0; p++ {
 		for _, v := range r.in[p] {
-			if v.routed || len(v.buf) == 0 || !v.buf[0].IsHead() {
+			if len(v.buf) == 0 {
+				continue
+			}
+			left--
+			if v.routed || !v.buf[0].IsHead() {
 				continue
 			}
 			pkt := v.buf[0].Pkt
@@ -240,13 +296,21 @@ func (r *Router) routeStage() {
 // claimSpinPorts reserves output ports for VCs that are spinning this
 // cycle; SMs may not preempt a spin in progress.
 func (r *Router) claimSpinPorts() {
+	if !r.spinClaimedDirty && r.spinningVCs == 0 {
+		return
+	}
 	for p := range r.spinClaimed {
 		r.spinClaimed[p] = false
+	}
+	r.spinClaimedDirty = false
+	if r.spinningVCs == 0 {
+		return
 	}
 	for p := 0; p < r.radix; p++ {
 		for _, v := range r.in[p] {
 			if v.spinning && len(v.buf) > 0 {
 				r.spinClaimed[v.outPort] = true
+				r.spinClaimedDirty = true
 			}
 		}
 	}
@@ -255,9 +319,17 @@ func (r *Router) claimSpinPorts() {
 // resolveSMs arbitrates this cycle's SM sends per output port and places
 // winners on the links.
 func (r *Router) resolveSMs() {
+	if r.smPending == 0 && !r.smBusyDirty {
+		return
+	}
 	for p := range r.smBusy {
 		r.smBusy[p] = false
 	}
+	r.smBusyDirty = false
+	if r.smPending == 0 {
+		return
+	}
+	r.smPending = 0
 	for p := 0; p < r.radix; p++ {
 		cands := r.smSends[p]
 		if len(cands) == 0 {
@@ -266,6 +338,9 @@ func (r *Router) resolveSMs() {
 		r.smSends[p] = cands[:0]
 		if r.spinClaimed[p] || r.outLink[p] == nil {
 			r.net.stats.SMDropped += int64(len(cands))
+			for _, c := range cands {
+				r.net.freeSM(c)
+			}
 			continue
 		}
 		var win *SM
@@ -277,9 +352,16 @@ func (r *Router) resolveSMs() {
 			win = cands[0]
 		}
 		r.net.stats.SMDropped += int64(len(cands) - 1)
+		for _, c := range cands {
+			if c != win {
+				r.net.freeSM(c)
+			}
+		}
 		l := r.outLink[p]
 		l.sendSM(r.net.now, win)
+		r.net.markLinkActive(l.index)
 		r.smBusy[p] = true
+		r.smBusyDirty = true
 		if r.net.measuring() {
 			l.smCycles[win.Kind]++
 		}
@@ -287,8 +369,24 @@ func (r *Router) resolveSMs() {
 	}
 }
 
+// clearUsed resets the crossbar port-usage scratch set by last cycle's
+// spin and switch-allocation stages.
+func (r *Router) clearUsed() {
+	if !r.usedDirty {
+		return
+	}
+	for p := range r.inUsed {
+		r.inUsed[p] = false
+		r.outUsed[p] = false
+	}
+	r.usedDirty = false
+}
+
 // spinStage force-transmits one flit from every spinning VC.
 func (r *Router) spinStage() {
+	if r.spinningVCs == 0 {
+		return
+	}
 	for p := 0; p < r.radix; p++ {
 		for _, v := range r.in[p] {
 			if !v.spinning || len(v.buf) == 0 {
@@ -301,6 +399,7 @@ func (r *Router) spinStage() {
 			r.sendFlitFrom(v, out, target)
 			r.inUsed[p] = true
 			r.outUsed[out] = true
+			r.usedDirty = true
 		}
 	}
 }
@@ -309,20 +408,28 @@ func (r *Router) spinStage() {
 // traffic. Each input VC tries its port requests in preference order; a
 // rotating start index provides fairness.
 func (r *Router) saStage() {
-	vcsPerPort := r.VCsPerPort()
-	total := r.radix * vcsPerPort
-	if total == 0 {
+	total := len(r.vcFlat)
+	if total == 0 || r.occupied == 0 {
 		return
 	}
-	start := r.rrPtr
-	for i := 0; i < total; i++ {
+	// The rotating start index advances once per cycle; deriving it from
+	// the clock (instead of a stored pointer bumped every call) lets idle
+	// routers skip the stage entirely without desynchronising fairness.
+	start := int(r.net.now % int64(total))
+	// No VC gains flits during switch allocation and a VC only drains when
+	// visited, so the scan may stop once every occupied VC has been seen.
+	left := r.occupied
+	for i := 0; i < total && left > 0; i++ {
 		slot := start + i
 		if slot >= total {
 			slot -= total
 		}
-		p := slot / vcsPerPort
-		v := r.in[p][slot%vcsPerPort]
-		if len(v.buf) == 0 || v.frozen || v.spinning || r.inUsed[p] {
+		v := r.vcFlat[slot]
+		if len(v.buf) == 0 {
+			continue
+		}
+		left--
+		if v.frozen || v.spinning || r.inUsed[v.port] {
 			continue
 		}
 		if v.target != nil || (v.outPort >= 0 && v.outPort < r.localPorts) {
@@ -333,10 +440,6 @@ func (r *Router) saStage() {
 		if v.routed && v.buf[0].IsHead() {
 			r.tryGrant(v)
 		}
-	}
-	r.rrPtr++
-	if r.rrPtr >= total {
-		r.rrPtr = 0
 	}
 }
 
@@ -351,6 +454,7 @@ func (r *Router) tryContinue(v *VC) {
 		r.ejectFlit(v)
 		r.inUsed[v.port] = true
 		r.outUsed[out] = true
+		r.usedDirty = true
 		return
 	}
 	if r.smBusy[out] {
@@ -362,6 +466,7 @@ func (r *Router) tryContinue(v *VC) {
 	r.sendFlitFrom(v, out, v.target)
 	r.inUsed[v.port] = true
 	r.outUsed[out] = true
+	r.usedDirty = true
 }
 
 // tryGrant walks the request list of a routed head packet and performs VC
@@ -379,18 +484,20 @@ func (r *Router) tryGrant(v *VC) {
 			r.ejectFlit(v)
 			r.inUsed[v.port] = true
 			r.outUsed[out] = true
+			r.usedDirty = true
 			return
 		}
 		if r.smBusy[out] || r.outLink[out] == nil {
 			continue
 		}
-		d, inPort, _ := r.Downstream(out)
+		l := r.outLink[out]
+		dvcs := l.dst.in[l.topo.DstPort]
 		base := pkt.VNet * r.net.cfg.VCsPerVNet
 		for k := 0; k < r.net.cfg.VCsPerVNet; k++ {
 			if req.VCMask&(1<<uint(k)) == 0 {
 				continue
 			}
-			dvc := d.in[inPort][base+k]
+			dvc := dvcs[base+k]
 			if !dvc.CanAccept(pkt.Length) {
 				continue
 			}
@@ -403,6 +510,7 @@ func (r *Router) tryGrant(v *VC) {
 			r.sendFlitFrom(v, out, dvc)
 			r.inUsed[v.port] = true
 			r.outUsed[out] = true
+			r.usedDirty = true
 			return
 		}
 	}
@@ -414,6 +522,7 @@ func (r *Router) sendFlitFrom(v *VC, out int, dvc *VC) {
 	l := r.outLink[out]
 	dvc.inFlight++
 	l.sendFlit(r.net.now, f, dvc)
+	r.net.markLinkActive(l.index)
 	if r.net.measuring() {
 		l.flitCycles++
 		r.net.stats.BufferReads++

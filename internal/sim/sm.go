@@ -77,11 +77,17 @@ type SM struct {
 	Forked bool
 	// Tag identifies the recovery attempt for tracing.
 	Tag uint64
+
+	// pooled marks SMs owned by the network's free list (Router.NewSM /
+	// CloneSM); the engine recycles them once dropped or delivered.
+	pooled bool
 }
 
-// Clone returns a deep copy (used when forking probes).
+// Clone returns a garbage-collected deep copy. Hot paths should prefer
+// Router.CloneSM, which recycles through the network's free list.
 func (m *SM) Clone() *SM {
 	c := *m
+	c.pooled = false
 	c.Path = append([]uint8(nil), m.Path...)
 	return &c
 }

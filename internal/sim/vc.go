@@ -147,12 +147,17 @@ func (v *VC) WaitingToEject() bool {
 	return p != nil && p.DstRouter == v.router.ID
 }
 
-// enqueue appends an arriving flit.
+// enqueue appends an arriving flit, maintaining the router's occupancy
+// counters that drive the active-set worklists.
 func (v *VC) enqueue(f Flit, now int64) {
 	if len(v.buf) >= v.depth {
 		panic(fmt.Sprintf("sim: VC overflow at r%d p%d vc%d cycle %d: depth=%d inFlight=%d frozen=%v spinning=%v resv=%v arriving=%v seq=%d front=%v",
 			v.router.ID, v.port, v.index, now, v.depth, v.inFlight, v.frozen, v.spinning, v.resvOwner, f.Pkt, f.Seq, v.buf[0].Pkt))
 	}
+	if len(v.buf) == 0 {
+		v.router.occupied++
+	}
+	v.router.flitCount++
 	v.buf = append(v.buf, f)
 }
 
@@ -162,6 +167,10 @@ func (v *VC) dequeue() Flit {
 	f := v.buf[0]
 	copy(v.buf, v.buf[1:])
 	v.buf = v.buf[:len(v.buf)-1]
+	v.router.flitCount--
+	if len(v.buf) == 0 {
+		v.router.occupied--
+	}
 	if f.IsTail() {
 		v.clearResidentState()
 		if v.resvOwner == f.Pkt {
@@ -172,13 +181,17 @@ func (v *VC) dequeue() Flit {
 }
 
 // clearResidentState resets per-resident-packet routing state; the next
-// packet in the FIFO (if any) will be routed afresh.
+// packet in the FIFO (if any) will be routed afresh. The request slice
+// keeps its capacity so steady-state routing never reallocates.
 func (v *VC) clearResidentState() {
-	v.reqs = nil
+	v.reqs = v.reqs[:0]
 	v.routed = false
 	v.target = nil
 	v.outPort = -1
-	v.spinning = false
+	if v.spinning {
+		v.spinning = false
+		v.router.spinningVCs--
+	}
 }
 
 // reserve allocates the VC to a packet whose head flit has just been sent

@@ -159,6 +159,12 @@ func (a *Agent) scanWatch(port, idx int) (int, int, bool) {
 	return 0, 0, false
 }
 
+// Quiescent implements sim.Quiescer: with the initiator FSM off and no
+// follower freeze pending, Tick is a no-op unless the router holds
+// blocked flits — and routers holding flits are always stepped. The
+// engine uses this to skip idle routers' agent phase entirely.
+func (a *Agent) Quiescent() bool { return a.role == RoleOff && !a.isDeadlock }
+
 // Tick implements sim.Agent.
 func (a *Agent) Tick() {
 	now := a.r.Now()
@@ -247,14 +253,14 @@ func (a *Agent) tickDD(now int64) {
 	// dependency) whose probe orbits without returning, and only probes
 	// launched from VCs inside a cycle ever come back.
 	out, _ := blockedDependency(v)
-	a.r.SendSM(out, &sim.SM{
-		Kind:      sim.SMProbe,
-		Sender:    a.id,
-		VNet:      uint8(v.VNet()),
-		FirstOut:  uint8(out),
-		HopCycles: int64(a.r.LinkLatency(out)),
-		Tag:       a.s.nextTag(),
-	})
+	probe := a.r.NewSM()
+	probe.Kind = sim.SMProbe
+	probe.Sender = a.id
+	probe.VNet = uint8(v.VNet())
+	probe.FirstOut = uint8(out)
+	probe.HopCycles = int64(a.r.LinkLatency(out))
+	probe.Tag = a.s.nextTag()
+	a.r.SendSM(out, probe)
 	a.count("probes_sent", 1)
 	if a.backoff < 3 {
 		a.backoff++
@@ -291,12 +297,12 @@ func (a *Agent) startKill(now int64) {
 		a.failures = 0
 	}
 	a.count("kill_moves_sent", 1)
-	a.r.SendSM(a.initOut, &sim.SM{
-		Kind:   sim.SMKillMove,
-		Sender: a.id,
-		Path:   append([]uint8(nil), a.loopPath...),
-		Tag:    a.s.nextTag(),
-	})
+	kill := a.r.NewSM()
+	kill.Kind = sim.SMKillMove
+	kill.Sender = a.id
+	kill.Path = append(kill.Path[:0], a.loopPath...)
+	kill.Tag = a.s.nextTag()
+	a.r.SendSM(a.initOut, kill)
 }
 
 // afterSpin runs when the initiator's spin round has globally completed:
@@ -309,15 +315,15 @@ func (a *Agent) afterSpin(now int64) {
 			a.spinCycle = now + 2*a.loopLen
 			a.expire = now + a.loopLen
 			a.count("probe_moves_sent", 1)
-			a.r.SendSM(a.initOut, &sim.SM{
-				Kind:      sim.SMProbeMove,
-				Sender:    a.id,
-				VNet:      uint8(a.loopVNet),
-				Path:      append([]uint8(nil), a.loopPath...),
-				SpinCycle: a.spinCycle,
-				LoopLen:   a.loopLen,
-				Tag:       a.s.nextTag(),
-			})
+			pm := a.r.NewSM()
+			pm.Kind = sim.SMProbeMove
+			pm.Sender = a.id
+			pm.VNet = uint8(a.loopVNet)
+			pm.Path = append(pm.Path[:0], a.loopPath...)
+			pm.SpinCycle = a.spinCycle
+			pm.LoopLen = a.loopLen
+			pm.Tag = a.s.nextTag()
+			a.r.SendSM(a.initOut, pm)
 			return
 		}
 	}
@@ -397,7 +403,6 @@ func (a *Agent) chainClosed(e frozenEntry) bool {
 func (a *Agent) triggerSpin(now int64) {
 	a.spinStarted = true
 	kept := a.frozen[:0]
-	usedOut, usedIn := map[int]bool{}, map[int]bool{}
 	for _, e := range a.frozen {
 		if !a.chainClosed(e) {
 			a.r.UnfreezeVC(e.vc)
@@ -408,8 +413,17 @@ func (a *Agent) triggerSpin(now int64) {
 		// the crossbar moves one flit per port per cycle, so spin only one
 		// and release the other (it re-enters detection). Closed cycles
 		// cannot share ports (an output port determines its downstream
-		// entry uniquely), so this never splits a fired cycle.
-		if usedOut[e.out] || usedIn[e.vc.Port()] {
+		// entry uniquely), so this never splits a fired cycle. The frozen
+		// list is at most a handful of entries, so a scan over the already
+		// fired ones replaces the old per-call maps.
+		conflict := false
+		for _, k := range kept {
+			if k.out == e.out || k.vc.Port() == e.vc.Port() {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
 			a.r.UnfreezeVC(e.vc)
 			a.count("spin_aborts", 1)
 			continue
@@ -424,8 +438,6 @@ func (a *Agent) triggerSpin(now int64) {
 			continue
 		}
 		a.r.StartSpin(e.vc, e.out, peerVC)
-		usedOut[e.out] = true
-		usedIn[e.vc.Port()] = true
 		kept = append(kept, e)
 	}
 	a.frozen = kept

@@ -65,15 +65,15 @@ func (a *Agent) confirmDeadlock(sm *sim.SM, inPort int, now int64) {
 	if a.s.cfg.CountTruth {
 		a.classifyRecovery()
 	}
-	a.r.SendSM(a.initOut, &sim.SM{
-		Kind:      sim.SMMove,
-		Sender:    a.id,
-		VNet:      sm.VNet,
-		Path:      append([]uint8(nil), a.loopPath...),
-		SpinCycle: a.spinCycle,
-		LoopLen:   a.loopLen,
-		Tag:       a.s.nextTag(),
-	})
+	mv := a.r.NewSM()
+	mv.Kind = sim.SMMove
+	mv.Sender = a.id
+	mv.VNet = sm.VNet
+	mv.Path = append(mv.Path[:0], a.loopPath...)
+	mv.SpinCycle = a.spinCycle
+	mv.LoopLen = a.loopLen
+	mv.Tag = a.s.nextTag()
+	a.r.SendSM(a.initOut, mv)
 }
 
 // forkProbe applies the forking rule: if every VC at the probe's input
@@ -148,7 +148,7 @@ func (a *Agent) forkProbe(sm *sim.SM, inPort int) {
 		n = 1
 	}
 	for i := 0; i < n; i++ {
-		c := sm.Clone()
+		c := a.r.CloneSM(sm)
 		c.Path = append(c.Path, uint8(ports[i]))
 		c.HopCycles += int64(a.r.LinkLatency(ports[i]))
 		if n > 1 {
@@ -222,7 +222,7 @@ func (a *Agent) handleMoveLike(sm *sim.SM, inPort int, isProbeMove bool) {
 	a.srcID = sm.Sender
 	a.followSpin = sm.SpinCycle
 	a.spinStarted = false
-	fwd := sm.Clone()
+	fwd := a.r.CloneSM(sm)
 	fwd.Path = fwd.Path[1:]
 	a.r.SendSM(out, fwd)
 }
@@ -282,7 +282,7 @@ func (a *Agent) handleKill(sm *sim.SM, inPort int) {
 		a.srcID = -1
 		a.spinStarted = false
 	}
-	fwd := sm.Clone()
+	fwd := a.r.CloneSM(sm)
 	fwd.Path = fwd.Path[1:]
 	a.r.SendSM(out, fwd)
 }
