@@ -56,6 +56,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request simulation budget")
 		maxcycles = flag.Int64("maxcycles", 2_000_000, "largest cycles value a request may ask for")
 		grace     = flag.Duration("grace", time.Minute, "shutdown grace period for in-flight requests")
+		reqlog    = flag.Bool("reqlog", true, "log one structured line per request (id, endpoint, code, cache outcome, key, duration)")
 	)
 	flag.Parse()
 
@@ -63,13 +64,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("opening cache: %v", err)
 	}
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Cache:     store,
 		Workers:   *workers,
 		QueueSize: *queue,
 		Timeout:   *timeout,
 		MaxCycles: *maxcycles,
-	})
+	}
+	if *reqlog {
+		// The request log shares the daemon's logger: same prefix and
+		// timestamps, greppable by the request ID echoed in X-Request-ID
+		// headers and error bodies.
+		cfg.Log = log.Default()
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,10 +15,20 @@
 //	spinsim -preset mesh_favors_min -traffic transpose -rate 0.25
 //	spinsim -preset mesh_favors_min -rate 0.3 -seeds 8 -workers 4
 //	spinsim -topo mesh:8x8 -rate 0.28 -cycles 20000 -cpuprofile cpu.pb
+//	spinsim -topo mesh:8x8 -routing favors_min -scheme spin -rate 0.40 \
+//	        -cycles 20000 -trace out.json -epoch 500 -hist -tsout ts.json
+//
+// -trace writes a Chrome trace-event JSON (open in ui.perfetto.dev or
+// chrome://tracing) of the last -tracebuf non-flit telemetry events —
+// packet lifecycles, SPIN state-machine sends, VC freezes, oracle
+// firings — plus counter tracks sampled every -epoch cycles. -hist
+// prints p50/p95/p99 latency percentiles and -tsout writes the windowed
+// time-series JSON.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +43,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -58,6 +69,11 @@ func main() {
 		record   = flag.String("record", "", "record the injected workload to a CSV trace file")
 		replay   = flag.String("replay", "", "drive the run from a CSV trace file instead of -traffic")
 		seeds    = flag.Int("seeds", 1, "replicate count: run the configuration under N derived seeds")
+		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON of the run to this file (open in ui.perfetto.dev)")
+		tracebuf = flag.Int("tracebuf", 1<<18, "trace ring capacity: -trace keeps the last N non-flit events")
+		epoch    = flag.Int64("epoch", 0, "telemetry time-series window in cycles (0 = default 100 when a time-series consumer is on)")
+		hist     = flag.Bool("hist", false, "print latency percentiles (p50/p95/p99) from a log2-bucketed histogram")
+		tsout    = flag.String("tsout", "", "write the epoch-windowed time-series JSON to this file")
 		workers  = flag.Int("workers", 0, "concurrent replicates when -seeds > 1 (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "per-run time budget (0 = unlimited), e.g. 2m")
 		progress = flag.Bool("progress", false, "report run completions (and single-run progress) to stderr")
@@ -118,9 +134,13 @@ func main() {
 		cfg.Seed = *seed
 		cfg.TDD = *tdd
 	}
+	telemetryOn := *traceOut != "" || *tsout != "" || *hist || *epoch != 0
 	if *seeds > 1 {
 		if *record != "" || *replay != "" || *drain {
 			log.Fatal("-seeds > 1 is incompatible with -record/-replay/-drain")
+		}
+		if telemetryOn {
+			log.Fatal("-seeds > 1 is incompatible with -trace/-tsout/-hist/-epoch")
 		}
 		runReplicates(ctx, cfg, *cycles, *seeds, *workers, *timeout, *progress, *check)
 		return
@@ -158,6 +178,22 @@ func main() {
 		net := s.Network()
 		checker = net.AttachChecker(harness.FromConfig(cfg, *cycles).CheckOptions(net.NumRouters()))
 	}
+	var tele *sim.Telemetry
+	var events *telemetry.Recorder
+	if telemetryOn {
+		topt := sim.TelemetryOptions{Hist: *hist}
+		if *traceOut != "" || *tsout != "" || *epoch != 0 {
+			topt.Window = *epoch
+			if topt.Window == 0 {
+				topt.Window = 100
+			}
+		}
+		if *traceOut != "" {
+			events = telemetry.NewRecorder(*tracebuf)
+			topt.Probe = events
+		}
+		tele = s.Network().AttachTelemetry(topt)
+	}
 	if err := runOne(ctx, s, *cycles, *timeout, *progress); err != nil {
 		log.Fatal(err)
 	}
@@ -182,6 +218,11 @@ func main() {
 	fmt.Printf("packets         injected=%d ejected=%d in-flight=%d queued=%d\n",
 		st.Injected, st.Ejected, s.Network().InFlight(), s.Network().QueuedPackets())
 	fmt.Printf("latency         avg=%.1f net=%.1f max=%d cycles\n", st.AvgLatency(), st.AvgNetLatency(), st.MaxLatency)
+	if *hist {
+		sum := tele.LatencySummary()
+		fmt.Printf("percentiles     p50=%.1f p95=%.1f p99=%.1f max=%d cycles (n=%d)\n",
+			sum.P50, sum.P95, sum.P99, sum.Max, sum.Count)
+	}
 	fmt.Printf("throughput      %.4f flits/node/cycle, %.2f avg hops\n", s.Throughput(), st.AvgHops())
 	u := s.Network().LinkUtilisation()
 	fmt.Printf("links           flit=%.3f sm=%.4f idle=%.3f\n", u.Flit, u.SMAll, u.Idle)
@@ -201,6 +242,30 @@ func main() {
 			}
 		}
 	}
+	// Telemetry files are written before the checker verdict so a failed
+	// check still leaves the trace behind — that is when it matters most.
+	if tele != nil {
+		tele.Flush()
+		if *tsout != "" {
+			writeJSONFile(*tsout, tele.TimeSeries())
+			fmt.Printf("timeseries      %d windows of %d cycles written to %s\n",
+				len(tele.TimeSeries().Samples), tele.TimeSeries().Window, *tsout)
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := telemetry.WriteChromeTrace(f, events.Events(), tele.TimeSeries()); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("trace           %d events (of %d seen) written to %s\n",
+				events.Len(), events.Total(), *traceOut)
+		}
+	}
 	if checker != nil {
 		ns := s.Network().Stats()
 		res := &harness.Result{
@@ -211,6 +276,13 @@ func main() {
 			Ejected:          ns.Ejected,
 			Spins:            ns.Spins,
 			MaxDeadlockSpell: checker.MaxDeadlockSpell(),
+		}
+		if events != nil {
+			ev := events.Events()
+			if len(ev) > harness.TraceTail {
+				ev = ev[len(ev)-harness.TraceTail:]
+			}
+			res.Trace = ev
 		}
 		if res.Failed() {
 			log.Print(harness.ReportFailure(*checkDir, res))
@@ -317,6 +389,17 @@ func meanStd(xs []float64) (mean, std float64) {
 		std += (x - mean) * (x - mean)
 	}
 	return mean, math.Sqrt(std / float64(len(xs)-1))
+}
+
+// writeJSONFile marshals v, indented, to path.
+func writeJSONFile(path string, v interface{}) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func orNone(s string) string {

@@ -51,14 +51,20 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-simulation-point time budget (0 = unlimited), e.g. 30s")
 		progress = flag.Bool("progress", false, "stream per-point completions to stderr")
 		check    = flag.Bool("check", false, "attach the runtime invariant checker to every sweep point; a violation fails that point")
+		tele     = flag.Bool("telemetry", false, "attach per-point telemetry: latency p50/p95/p99 and an epoch-windowed time-series in each point")
+		epoch    = flag.Int64("epoch", 0, "telemetry time-series window in cycles (0 = default 100; needs -telemetry)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *epoch != 0 && !*tele {
+		log.Fatal("-epoch needs -telemetry")
+	}
 	o := exp.Options{
 		Cycles: *cycles, Warmup: *warmup, Small: !*full, Seed: *seed,
 		Workers: *workers, Timeout: *timeout, Check: *check,
+		Telemetry: *tele, Epoch: *epoch,
 	}
 	if *progress {
 		o.Progress = progressPrinter()

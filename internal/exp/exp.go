@@ -57,6 +57,14 @@ type Options struct {
 	// exempt: its whole purpose is to drive schemeless networks into
 	// deadlock, which the checker would rightly flag.
 	Check bool
+	// Telemetry attaches the observability layer to every sweep point:
+	// each Point gains a latency-percentile summary and an epoch-windowed
+	// time-series. Off by default (and omitted from the JSON encoding when
+	// off), so existing encodings are byte-identical.
+	Telemetry bool
+	// Epoch is the time-series window in cycles (default 100 when
+	// Telemetry is on).
+	Epoch int64
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +76,9 @@ func (o Options) withDefaults() Options {
 		o.Warmup = 0
 	case o.Warmup == 0:
 		o.Warmup = o.Cycles / 10
+	}
+	if o.Telemetry && o.Epoch == 0 {
+		o.Epoch = 100
 	}
 	return o
 }
@@ -93,8 +104,15 @@ func (o Options) dflySpec() string {
 	return "dragonfly1024"
 }
 
-// Point is one (x, y) sample.
-type Point struct{ X, Y float64 }
+// Point is one (x, y) sample. When the sweep ran with Options.Telemetry
+// the point also carries a latency-percentile summary and the windowed
+// time-series; both are nil otherwise, so encodings of telemetry-free
+// sweeps are unchanged.
+type Point struct {
+	X, Y    float64
+	Latency *sim.LatencySummary `json:",omitempty"`
+	TS      *sim.TimeSeries     `json:",omitempty"`
+}
 
 // Series is a labelled curve.
 type Series struct {
@@ -179,6 +197,9 @@ func runPoint(ctx context.Context, cfg spin.Config, pattern string, rate float64
 		sc := harness.FromConfig(cfg, o.Cycles)
 		checker = s.Network().AttachChecker(sc.CheckOptions(s.Network().NumRouters()))
 	}
+	if o.Telemetry {
+		s.Network().AttachTelemetry(sim.TelemetryOptions{Window: o.Epoch, Hist: true})
+	}
 	if err := runner.Cycles(ctx, s.Run, o.Cycles); err != nil {
 		return nil, err
 	}
@@ -207,7 +228,14 @@ func latencyCurve(ctx context.Context, cfg spin.Config, pattern string, rates []
 		if lat == 0 {
 			continue
 		}
-		s.Points = append(s.Points, Point{X: rate, Y: lat})
+		pt := Point{X: rate, Y: lat}
+		if tele := simn.Network().Telemetry(); tele != nil {
+			tele.Flush()
+			sum := tele.LatencySummary()
+			pt.Latency = &sum
+			pt.TS = tele.TimeSeries()
+		}
+		s.Points = append(s.Points, pt)
 		if lat > satLatency {
 			break
 		}

@@ -57,6 +57,12 @@ type SweepRequest struct {
 	Seed int64 `json:"seed"`
 	// Check attaches the runtime invariant checker to every point.
 	Check bool `json:"check,omitempty"`
+	// Telemetry adds a latency-percentile summary and an epoch-windowed
+	// time-series to every point of the result.
+	Telemetry bool `json:"telemetry,omitempty"`
+	// Epoch is the time-series window in cycles (0 = default 100; only
+	// meaningful with Telemetry).
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // SweepIDs lists the valid Fig names in canonical presentation order.
@@ -70,6 +76,9 @@ func (r SweepRequest) Validate() error {
 		if r.Fig == id {
 			if r.Cycles < 0 {
 				return fmt.Errorf("exp: cycles must be >= 0, got %d", r.Cycles)
+			}
+			if r.Epoch < 0 {
+				return fmt.Errorf("exp: epoch must be >= 0, got %d", r.Epoch)
 			}
 			return nil
 		}
@@ -92,6 +101,12 @@ func (r SweepRequest) Normalized() SweepRequest {
 	case r.Warmup == 0:
 		r.Warmup = r.Cycles / 10
 	}
+	switch {
+	case !r.Telemetry:
+		r.Epoch = 0
+	case r.Epoch == 0:
+		r.Epoch = 100
+	}
 	return r
 }
 
@@ -109,7 +124,8 @@ func (r SweepRequest) Canonical() []byte {
 // caller layers its execution knobs (Workers, Timeout, Progress) on the
 // result.
 func (r SweepRequest) Options() Options {
-	return Options{Cycles: r.Cycles, Warmup: r.Warmup, Small: !r.Full, Seed: r.Seed, Check: r.Check}
+	return Options{Cycles: r.Cycles, Warmup: r.Warmup, Small: !r.Full, Seed: r.Seed,
+		Check: r.Check, Telemetry: r.Telemetry, Epoch: r.Epoch}
 }
 
 // DecodeSweepRequest reads one request from JSON, rejecting unknown

@@ -23,13 +23,18 @@ type Artifact struct {
 	// Notes carries non-checker findings: drain failures, differential
 	// delivery mismatches.
 	Notes []string `json:"notes,omitempty"`
+	// Trace is the tail of the run's telemetry event stream (the last
+	// TraceTail non-flit events), so the artifact shows what the network
+	// was doing when it failed — which VCs froze, which SMs were in
+	// flight, where the oracle fired — without rerunning anything.
+	Trace []sim.Event `json:"trace,omitempty"`
 	// Repro is the one-line command that reruns this artifact.
 	Repro string `json:"repro"`
 }
 
 // NewArtifact assembles an artifact from a failed run.
 func NewArtifact(res *Result) Artifact {
-	art := Artifact{Scenario: res.Scenario, Violations: res.Violations}
+	art := Artifact{Scenario: res.Scenario, Violations: res.Violations, Trace: res.Trace}
 	if !res.Drained {
 		art.Notes = append(art.Notes, fmt.Sprintf("drain incomplete: %d injected, %d ejected", res.Injected, res.Ejected))
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -278,5 +279,55 @@ func TestCompareDeliveriesFlagsDivergence(t *testing.T) {
 	}
 	if ms := compareDeliveries(a, a, 2); len(ms) != 0 {
 		t.Fatalf("identical sets flagged: %v", ms)
+	}
+}
+
+// TestArtifactEmbedsTraceTail pins the observability contract on
+// failure artifacts: the written scenario-<key>.json carries the tail
+// of the run's telemetry event stream, bounded by TraceTail, in
+// chronological order, and it survives the JSON round trip.
+func TestArtifactEmbedsTraceTail(t *testing.T) {
+	t.Parallel()
+	res, err := Run(brokenScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("deliberately broken scenario did not fail")
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("failed run recorded no telemetry events")
+	}
+	if len(res.Trace) > TraceTail {
+		t.Fatalf("trace tail %d exceeds bound %d", len(res.Trace), TraceTail)
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Cycle < res.Trace[i-1].Cycle {
+			t.Fatalf("trace not chronological at %d: %d after %d", i, res.Trace[i].Cycle, res.Trace[i-1].Cycle)
+		}
+	}
+	path, err := WriteArtifact(t.TempDir(), NewArtifact(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(art.Trace, res.Trace) {
+		t.Fatal("artifact trace did not round-trip")
+	}
+	// The raw file spells event kinds symbolically, not as ints.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Fatal("artifact is not valid JSON")
+	}
+	for _, want := range []string{`"trace"`, `"kind"`, `"cycle"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("artifact missing %s", want)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	spin "repro"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Result is the outcome of one checked scenario execution.
@@ -24,7 +25,15 @@ type Result struct {
 	// Delivered maps packet ID to its delivery tuple, in a form the
 	// differential oracle can compare across configurations.
 	Delivered []Delivery `json:"-"`
+	// Trace is the tail of the run's telemetry event stream (flit-level
+	// events excluded), embedded in failure artifacts so a triager sees
+	// what the network was doing when the invariant broke.
+	Trace []sim.Event `json:"-"`
 }
+
+// TraceTail is how many trailing telemetry events a checked run retains
+// for its failure artifact.
+const TraceTail = 256
 
 // Delivery identifies one delivered packet, indexed by injection order
 // (packet IDs are assigned sequentially at injection).
@@ -103,6 +112,8 @@ func Run(sc Scenario) (*Result, error) {
 func runChecked(sc Scenario, s *spin.Simulation) (*Result, error) {
 	net := s.Network()
 	checker := net.AttachChecker(sc.CheckOptions(net.NumRouters()))
+	rec := telemetry.NewRecorder(TraceTail)
+	net.AttachTelemetry(sim.TelemetryOptions{Probe: rec})
 	res := &Result{Scenario: sc}
 	net.SetEjectHook(func(p *sim.Packet) {
 		res.Delivered = append(res.Delivered, Delivery{ID: p.ID, Src: p.Src, Dst: p.Dst, Length: p.Length, VNet: p.VNet})
@@ -110,6 +121,7 @@ func runChecked(sc Scenario, s *spin.Simulation) (*Result, error) {
 	s.Run(sc.Cycles)
 	res.Drained = s.Drain(sc.drainBudget())
 	res.Violations = checker.Violations()
+	res.Trace = rec.Events()
 	res.Injected = net.Stats().Injected
 	res.Ejected = net.Stats().Ejected
 	res.Spins = net.Stats().Spins

@@ -53,10 +53,21 @@ func header(w io.Writer, name, help, typ string) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 }
 
-// formatValue renders a sample value the way Prometheus expects.
+// formatValue renders a sample value the way Prometheus expects. Values
+// that are exactly integral render without an exponent (1e6 as
+// "1000000", not "1e+06") so large counts round-trip through scrapers
+// and diff cleanly; 2^53 is the largest magnitude where float64 still
+// holds every integer exactly.
 func formatValue(v float64) string {
-	if math.IsInf(v, 1) {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
 		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1<<53:
+		return strconv.FormatInt(int64(v), 10)
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
@@ -245,8 +256,20 @@ func (h *histogram) render(w io.Writer) {
 	}
 	sort.Strings(keys)
 	header(w, h.name, h.help, "histogram")
+	empty := &histSeries{counts: make([]uint64, len(h.buckets)+1)}
+	if len(keys) == 0 {
+		// A histogram nobody has observed still exposes a complete
+		// unlabeled series — every bucket including +Inf, zero sum and
+		// count — so scrapers see the metric exists and rate() works from
+		// the first sample. The zero series is render-only: once real
+		// (possibly labeled) observations arrive, it disappears.
+		keys = append(keys, "")
+	}
 	for _, k := range keys {
 		s := h.series[k]
+		if s == nil {
+			s = empty
+		}
 		cum := uint64(0)
 		for i, bound := range h.buckets {
 			cum += s.counts[i]

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsRenderGolden locks the full text exposition of every
+// instrument kind against a golden file: label ordering is stable, an
+// empty histogram still emits its complete bucket set including +Inf,
+// and large integral counts render without an exponent. Regenerate with
+// `go test ./internal/serve -run MetricsRenderGolden -update`.
+func TestMetricsRenderGolden(t *testing.T) {
+	reg := newRegistry()
+
+	c := reg.counter("t_requests_total", "requests by label")
+	c.AddL(map[string]string{"endpoint": "simulate", "code": "200"}, 3)
+	c.AddL(map[string]string{"code": "500", "endpoint": "simulate"}, 1) // same set, shuffled insert order
+	c.AddL(map[string]string{"endpoint": "sweep", "code": "200"}, 1<<52)
+
+	reg.counter("t_untouched_total", "a counter nobody incremented")
+	reg.counterFunc("t_sampled_total", "a scrape-time sampled counter", func() float64 { return 42 })
+
+	g := reg.gauge("t_depth", "a settable gauge")
+	g.Set(7)
+	reg.gaugeFunc("t_ratio", "a sampled gauge", func() float64 { return math.NaN() })
+
+	h := reg.histogram("t_latency_seconds", "an observed histogram", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100) // lands in +Inf overflow
+	h.ObserveL(map[string]string{"endpoint": "simulate"}, 2)
+	h.ObserveL(map[string]string{"endpoint": "big"}, 1<<52) // must not render as 4.5e+15
+
+	reg.histogram("t_empty_seconds", "a histogram nobody observed", []float64{1, 2})
+
+	var buf bytes.Buffer
+	reg.writeTo(&buf)
+	got := buf.String()
+
+	golden := filepath.Join("testdata", "metrics_render.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metrics render drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Spot-check the properties the golden encodes, so a careless
+	// -update can't silently bless a regression.
+	for _, must := range []string{
+		`t_requests_total{code="200",endpoint="simulate"} 3`, // sorted label keys
+		"t_requests_total{code=\"200\",endpoint=\"sweep\"} 4503599627370496\n",
+		"t_untouched_total 0\n",
+		`t_empty_seconds_bucket{le="1"} 0`,
+		`t_empty_seconds_bucket{le="+Inf"} 0`,
+		"t_empty_seconds_sum 0\n",
+		"t_empty_seconds_count 0\n",
+		"t_ratio NaN\n",
+		"t_latency_seconds_sum{endpoint=\"big\"} 4503599627370496\n",
+		`t_latency_seconds_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(got, must) {
+			t.Errorf("render missing %q", must)
+		}
+	}
+	if strings.Contains(got, "e+") {
+		t.Error("render contains exponent notation; large counts must round-trip")
+	}
+}
+
+// TestMetricsEmptyHistogramTransient pins that the render-only zero
+// series of an untouched histogram vanishes once a labeled observation
+// arrives — it must never persist as a phantom unlabeled series.
+func TestMetricsEmptyHistogramTransient(t *testing.T) {
+	reg := newRegistry()
+	h := reg.histogram("t_h", "h", []float64{1})
+
+	var before bytes.Buffer
+	reg.writeTo(&before)
+	if !strings.Contains(before.String(), `t_h_bucket{le="+Inf"} 0`) {
+		t.Fatalf("empty histogram lacks +Inf bucket:\n%s", before.String())
+	}
+
+	h.ObserveL(map[string]string{"endpoint": "x"}, 0.5)
+	var after bytes.Buffer
+	reg.writeTo(&after)
+	if strings.Contains(after.String(), `t_h_bucket{le="+Inf"} 0`) ||
+		strings.Contains(after.String(), "t_h_count 0") {
+		t.Errorf("phantom unlabeled zero series survived first observation:\n%s", after.String())
+	}
+	if !strings.Contains(after.String(), `t_h_bucket{endpoint="x",le="+Inf"} 1`) {
+		t.Errorf("labeled series missing:\n%s", after.String())
+	}
+}

@@ -20,7 +20,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	spin "repro"
@@ -51,6 +53,12 @@ type Config struct {
 	// MaxCycles rejects requests asking for more simulated cycles than
 	// the deployment wants to pay for (0 = 2,000,000).
 	MaxCycles int64
+	// Log, when non-nil, receives one structured line per request:
+	// request ID, endpoint, status code, cache outcome, job key, and
+	// duration. The request ID is echoed in the X-Request-ID header and
+	// in error bodies, so a client-reported failure is one grep away from
+	// its server-side line.
+	Log *log.Logger
 }
 
 // SimRequest is the /v1/simulate body: a harness scenario plus serving-
@@ -61,11 +69,25 @@ type SimRequest struct {
 	// Check attaches the runtime invariant checker and reports its
 	// verdict in the response.
 	Check bool `json:"check,omitempty"`
+	// Telemetry adds a latency-percentile summary and a windowed
+	// time-series to the response. (Simulator-level Prometheus metrics
+	// are recorded for every request regardless.)
+	Telemetry bool `json:"telemetry,omitempty"`
+	// Epoch is the time-series window in cycles (0 = default 100; only
+	// meaningful with Telemetry).
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // normalized returns the canonical form of the request.
 func (r SimRequest) normalized() SimRequest {
-	return SimRequest{Scenario: r.Scenario.Normalized(), Check: r.Check}
+	n := SimRequest{Scenario: r.Scenario.Normalized(), Check: r.Check, Telemetry: r.Telemetry, Epoch: r.Epoch}
+	switch {
+	case !n.Telemetry:
+		n.Epoch = 0
+	case n.Epoch == 0:
+		n.Epoch = 100
+	}
+	return n
 }
 
 // canonical returns the canonical bytes of the request.
@@ -107,6 +129,9 @@ type SimResponse struct {
 	Request SimRequest   `json:"request"`
 	Stats   SimStats     `json:"stats"`
 	Check   *CheckReport `json:"check,omitempty"`
+	// Latency and TimeSeries are present when the request set telemetry.
+	Latency    *sim.LatencySummary `json:"latency,omitempty"`
+	TimeSeries *sim.TimeSeries     `json:"time_series,omitempty"`
 }
 
 // Server is the HTTP serving subsystem. Construct with New; it is ready
@@ -125,6 +150,17 @@ type Server struct {
 	mRunning    *gauge
 	mSimCycles  *histogram
 	mSimSeconds *histogram
+
+	// Simulator-level series, fed from each executed request's stats and
+	// telemetry (cache hits don't re-observe: they ran no simulator).
+	mSimSpins     *counter
+	mSimRecovers  *counter
+	mSimProbes    *counter
+	mSimKillMoves *counter
+	mSimDeadlocks *counter
+	mSimLatency   *histogram
+
+	reqSeq atomic.Uint64 // request-ID sequence (satellite: request logging)
 
 	// testCompute, when set (tests only), replaces the simulation body
 	// of /v1/simulate pool jobs. It still runs on the pool, so panic
@@ -161,6 +197,13 @@ func New(cfg Config) (*Server, error) {
 		[]float64{1e3, 1e4, 1e5, 1e6, 1e7})
 	s.mSimSeconds = s.reg.histogram("spind_simulation_duration_seconds", "Wall-clock time per executed simulation.",
 		[]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120})
+	s.mSimSpins = s.reg.counter("spind_sim_spins_total", "Synchronized SPIN movements performed by executed simulations.")
+	s.mSimRecovers = s.reg.counter("spind_sim_recoveries_total", "SPIN deadlock recoveries completed by executed simulations.")
+	s.mSimProbes = s.reg.counter("spind_sim_probes_total", "SPIN probe messages sent by executed simulations.")
+	s.mSimKillMoves = s.reg.counter("spind_sim_kill_moves_total", "SPIN kill_move messages sent by executed simulations.")
+	s.mSimDeadlocks = s.reg.counter("spind_sim_deadlock_firings_total", "Deadlock-oracle firings observed by executed simulations (checked requests only).")
+	s.mSimLatency = s.reg.histogram("spind_sim_packet_latency_cycles", "Packet-latency percentiles (quantile label) per executed simulation, in cycles.",
+		[]float64{10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 100000})
 	snap := func(f func(cache.Stats) float64) func() float64 {
 		return func() float64 { return f(s.store.Snapshot()) }
 	}
@@ -214,16 +257,57 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the request counter and latency
-// histogram.
+// reqInfo is the per-request context record behind request logging: the
+// ID assigned at ingress plus whatever the handler learns along the way
+// (cache outcome, job key).
+type reqInfo struct {
+	id    string
+	cache string
+	key   string
+}
+
+type reqInfoKey struct{}
+
+// requestInfo retrieves the request record (nil outside instrument).
+func requestInfo(r *http.Request) *reqInfo {
+	info, _ := r.Context().Value(reqInfoKey{}).(*reqInfo)
+	return info
+}
+
+// nextRequestID mints a process-unique request ID: a start-time salt so
+// IDs from different daemon runs don't collide in aggregated logs, plus
+// a sequence number.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%x-%06d", s.start.UnixNano()&0xffffffff, s.reqSeq.Add(1))
+}
+
+// instrument wraps a handler with the request counter, the latency
+// histogram, the request-ID header, and the per-request log line.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		info := &reqInfo{id: s.nextRequestID(), cache: "-", key: "-"}
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info))
+		w.Header().Set("X-Request-ID", info.id)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
+		dur := time.Since(start)
 		s.mRequests.AddL(map[string]string{"endpoint": endpoint, "code": fmt.Sprint(sw.code)}, 1)
-		s.mReqSeconds.ObserveL(map[string]string{"endpoint": endpoint}, time.Since(start).Seconds())
+		s.mReqSeconds.ObserveL(map[string]string{"endpoint": endpoint}, dur.Seconds())
+		if s.cfg.Log != nil {
+			s.cfg.Log.Printf("req id=%s endpoint=%s code=%d cache=%s key=%s dur=%s",
+				info.id, endpoint, sw.code, info.cache, info.key, dur.Round(time.Microsecond))
+		}
 	}
+}
+
+// httpError answers an error with the request ID appended, so a client
+// report can be matched to the daemon's log line.
+func httpError(w http.ResponseWriter, r *http.Request, msg string, code int) {
+	if info := requestInfo(r); info != nil {
+		msg += " (request " + info.id + ")"
+	}
+	http.Error(w, msg, code)
 }
 
 // handleHealthz reports liveness plus a queue snapshot.
@@ -250,22 +334,26 @@ func (e errBadRequest) Unwrap() error { return e.err }
 // handleSimulate is POST /v1/simulate.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST a scenario JSON body", http.StatusMethodNotAllowed)
+		httpError(w, r, "POST a scenario JSON body", http.StatusMethodNotAllowed)
 		return
 	}
 	var req SimRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		httpError(w, r, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	if err := req.Validate(); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		httpError(w, r, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Epoch < 0 {
+		httpError(w, r, fmt.Sprintf("bad request: epoch must be >= 0, got %d", req.Epoch), http.StatusBadRequest)
 		return
 	}
 	if req.Cycles > s.cfg.MaxCycles || req.DrainCycles > 100*s.cfg.MaxCycles {
-		http.Error(w, fmt.Sprintf("bad request: cycles beyond this server's limit (%d)", s.cfg.MaxCycles), http.StatusBadRequest)
+		httpError(w, r, fmt.Sprintf("bad request: cycles beyond this server's limit (%d)", s.cfg.MaxCycles), http.StatusBadRequest)
 		return
 	}
 	n := req.normalized()
@@ -283,21 +371,21 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // handleSweep is POST /v1/sweep.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST a sweep request JSON body", http.StatusMethodNotAllowed)
+		httpError(w, r, "POST a sweep request JSON body", http.StatusMethodNotAllowed)
 		return
 	}
 	req, err := exp.DecodeSweepRequest(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		httpError(w, r, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	if err := req.Validate(); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		httpError(w, r, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	n := req.Normalized()
 	if n.Cycles > s.cfg.MaxCycles {
-		http.Error(w, fmt.Sprintf("bad request: cycles beyond this server's limit (%d)", s.cfg.MaxCycles), http.StatusBadRequest)
+		httpError(w, r, fmt.Sprintf("bad request: cycles beyond this server's limit (%d)", s.cfg.MaxCycles), http.StatusBadRequest)
 		return
 	}
 	key := cache.KeyOf(ResultVersion+"/sweep", n.Canonical())
@@ -326,10 +414,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // failure modes to status codes, and emit the result with cache
 // metadata headers.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(context.Context) ([]byte, error)) {
+	if info := requestInfo(r); info != nil {
+		info.key = key
+	}
 	body, outcome, err := s.store.Do(r.Context(), key, compute)
 	if err != nil {
+		if info := requestInfo(r); info != nil {
+			info.cache = "error"
+		}
 		s.writeError(w, r, key, err)
 		return
+	}
+	if info := requestInfo(r); info != nil {
+		info.cache = outcome.String()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", outcome.String())
@@ -348,19 +445,19 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, key string, 
 		w.WriteHeader(499)
 	case errors.Is(err, runner.ErrQueueFull):
 		w.Header().Set("Retry-After", "2")
-		http.Error(w, "overloaded: job queue full, retry later", http.StatusTooManyRequests)
+		httpError(w, r, "overloaded: job queue full, retry later", http.StatusTooManyRequests)
 	case errors.Is(err, runner.ErrPoolClosed):
-		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		httpError(w, r, "shutting down", http.StatusServiceUnavailable)
 	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, fmt.Sprintf("simulation exceeded the per-request budget (%v)", s.cfg.Timeout), http.StatusGatewayTimeout)
+		httpError(w, r, fmt.Sprintf("simulation exceeded the per-request budget (%v)", s.cfg.Timeout), http.StatusGatewayTimeout)
 	case errors.As(err, &pe):
 		// The panic is captured, the daemon lives on; the job key lets
 		// operators replay the poisoned request.
-		http.Error(w, fmt.Sprintf("internal error: job %s panicked: %v", pe.Key, pe.Value), http.StatusInternalServerError)
+		httpError(w, r, fmt.Sprintf("internal error: job %s panicked: %v", pe.Key, pe.Value), http.StatusInternalServerError)
 	case errors.As(err, &bad):
-		http.Error(w, "bad request: "+bad.Error(), http.StatusBadRequest)
+		httpError(w, r, "bad request: "+bad.Error(), http.StatusBadRequest)
 	default:
-		http.Error(w, "internal error: "+err.Error(), http.StatusInternalServerError)
+		httpError(w, r, "internal error: "+err.Error(), http.StatusInternalServerError)
 	}
 }
 
@@ -380,6 +477,22 @@ func (s *Server) runSimulation(ctx context.Context, req SimRequest, key string) 
 		net := simulation.Network()
 		checker = net.AttachChecker(sc.CheckOptions(net.NumRouters()))
 	}
+	// Telemetry is always attached: the latency histogram feeds the
+	// simulator-level Prometheus series for every executed request. The
+	// window sampler and response fields stay opt-in (req.Telemetry), so
+	// response bytes for telemetry-free requests are unchanged. The
+	// oracle-firing probe only matters on checked requests (the oracle
+	// only runs under the checker), and attaching a probe makes the hot
+	// path construct events, so it too is gated on req.Check.
+	topt := sim.TelemetryOptions{Hist: true}
+	if req.Telemetry {
+		topt.Window = req.Epoch
+	}
+	var oracle oracleCounter
+	if req.Check {
+		topt.Probe = &oracle
+	}
+	tele := simulation.Network().AttachTelemetry(topt)
 	if err := runner.Cycles(ctx, simulation.Run, sc.Cycles); err != nil {
 		return nil, err
 	}
@@ -410,6 +523,13 @@ func (s *Server) runSimulation(ctx context.Context, req SimRequest, key string) 
 			MaxDeadlockSpell: checker.MaxDeadlockSpell(),
 		}
 	}
+	tele.Flush()
+	if req.Telemetry {
+		sum := tele.LatencySummary()
+		resp.Latency = &sum
+		resp.TimeSeries = tele.TimeSeries()
+	}
+	s.observeSimulator(st, tele, oracle.firings)
 	s.mSimCycles.Observe(float64(sc.Cycles))
 	s.mSimSeconds.Observe(time.Since(start).Seconds())
 	var buf bytes.Buffer
@@ -417,6 +537,32 @@ func (s *Server) runSimulation(ctx context.Context, req SimRequest, key string) 
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// oracleCounter is a minimal telemetry probe counting deadlock-oracle
+// firings (the only event kind it will see arrives from the checker).
+type oracleCounter struct{ firings int64 }
+
+func (o *oracleCounter) Event(e sim.Event) {
+	if e.Kind == sim.EvOracleDeadlock {
+		o.firings++
+	}
+}
+
+// observeSimulator folds one executed simulation's counters and latency
+// percentiles into the simulator-level Prometheus series.
+func (s *Server) observeSimulator(st *sim.Stats, tele *sim.Telemetry, oracleFirings int64) {
+	s.mSimSpins.Add(float64(st.Spins))
+	s.mSimRecovers.Add(float64(st.Counter("recoveries")))
+	s.mSimProbes.Add(float64(st.Counter("probes_sent")))
+	s.mSimKillMoves.Add(float64(st.Counter("kill_moves_sent")))
+	s.mSimDeadlocks.Add(float64(oracleFirings))
+	sum := tele.LatencySummary()
+	if sum.Count > 0 {
+		s.mSimLatency.ObserveL(map[string]string{"quantile": "p50"}, sum.P50)
+		s.mSimLatency.ObserveL(map[string]string{"quantile": "p95"}, sum.P95)
+		s.mSimLatency.ObserveL(map[string]string{"quantile": "p99"}, sum.P99)
+	}
 }
 
 // Snapshot exposes cache statistics (cmd/spind logs them on shutdown).

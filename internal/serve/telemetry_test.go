@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSimulateTelemetryResponse exercises the opt-in telemetry path: a
+// request with telemetry gets latency percentiles and a windowed
+// time-series, the same request without telemetry gets neither, and
+// every executed request feeds the simulator-level Prometheus series.
+func TestSimulateTelemetryResponse(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"topology":"mesh:4x4","routing":"min_adaptive","scheme":"spin","traffic":"uniform_random","rate":0.05,"cycles":1000,"seed":1,"telemetry":true,"epoch":250}`
+	rec := post(t, s.Handler(), "/v1/simulate", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp SimResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Latency == nil || resp.TimeSeries == nil {
+		t.Fatalf("telemetry request missing latency/time_series: %s", rec.Body.String())
+	}
+	if resp.Latency.Count <= 0 || resp.Latency.Count != resp.Stats.Ejected {
+		t.Errorf("latency count %d != ejected %d", resp.Latency.Count, resp.Stats.Ejected)
+	}
+	if !(resp.Latency.P50 <= resp.Latency.P95 && resp.Latency.P95 <= resp.Latency.P99) {
+		t.Errorf("percentiles not monotone: %+v", resp.Latency)
+	}
+	if resp.TimeSeries.Schema != sim.TimeSeriesSchema || resp.TimeSeries.Window != 250 {
+		t.Errorf("bad time-series header: %+v", resp.TimeSeries)
+	}
+	if len(resp.TimeSeries.Samples) == 0 {
+		t.Error("time-series has no windows")
+	}
+	// Epoch normalisation: request echo carries the canonical form.
+	if resp.Request.Epoch != 250 || !resp.Request.Telemetry {
+		t.Errorf("request echo lost telemetry knobs: %+v", resp.Request)
+	}
+
+	// The same scenario without telemetry must not leak the new fields,
+	// and must hash to a different cache key.
+	plain := post(t, s.Handler(), "/v1/simulate", strings.Replace(body, `,"telemetry":true,"epoch":250`, "", 1))
+	if plain.Code != http.StatusOK {
+		t.Fatalf("plain status %d: %s", plain.Code, plain.Body.String())
+	}
+	for _, banned := range []string{`"latency"`, `"time_series"`, `"p95"`} {
+		if strings.Contains(plain.Body.String(), banned) {
+			t.Errorf("telemetry-free response leaks %s", banned)
+		}
+	}
+	if a, b := rec.Header().Get("X-Cache-Key"), plain.Header().Get("X-Cache-Key"); a == b {
+		t.Error("telemetry and plain requests share a cache key")
+	}
+
+	// Both requests executed a simulator, so the simulator-level series
+	// must exist with real samples.
+	mrec := post(t, s.Handler(), "/metrics", "")
+	metrics := mrec.Body.String()
+	for _, must := range []string{
+		"spind_sim_spins_total",
+		"spind_sim_recoveries_total",
+		"spind_sim_probes_total",
+		"spind_sim_kill_moves_total",
+		"spind_sim_deadlock_firings_total",
+		`spind_sim_packet_latency_cycles_bucket{quantile="p50",le="+Inf"}`,
+	} {
+		if !strings.Contains(metrics, must) {
+			t.Errorf("/metrics missing %s", must)
+		}
+	}
+	if s.mSimLatency.Count(map[string]string{"quantile": "p95"}) != 2 {
+		t.Errorf("p95 series observed %d times, want 2 (one per executed request)",
+			s.mSimLatency.Count(map[string]string{"quantile": "p95"}))
+	}
+}
+
+// TestSimulateEpochValidation pins the serving-side epoch rules.
+func TestSimulateEpochValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := post(t, s.Handler(), "/v1/simulate",
+		`{"topology":"mesh:4x4","routing":"min_adaptive","scheme":"spin","traffic":"uniform_random","rate":0.05,"cycles":1000,"seed":1,"epoch":-5}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("negative epoch: status %d", rec.Code)
+	}
+	// Epoch without telemetry is scrubbed: the request hits the same
+	// cache entry as the bare scenario.
+	a := SimRequest{Scenario: mustScenario(t, smallScenario), Epoch: 500}.canonical()
+	b := SimRequest{Scenario: mustScenario(t, smallScenario)}.canonical()
+	if string(a) != string(b) {
+		t.Errorf("epoch without telemetry changes canonical form:\n%s\n%s", a, b)
+	}
+	// Telemetry defaults its epoch to 100.
+	c := SimRequest{Scenario: mustScenario(t, smallScenario), Telemetry: true}.canonical()
+	d := SimRequest{Scenario: mustScenario(t, smallScenario), Telemetry: true, Epoch: 100}.canonical()
+	if string(c) != string(d) {
+		t.Errorf("default epoch spellings diverge:\n%s\n%s", c, d)
+	}
+}
+
+// TestRequestLogging covers the structured per-request log line: one
+// line per request carrying the ID (echoed in the X-Request-ID header),
+// endpoint, status, cache outcome, job key, and duration; and error
+// bodies referencing the same ID.
+func TestRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	s := newTestServer(t, Config{Log: log.New(&buf, "", 0)})
+
+	miss := post(t, s.Handler(), "/v1/simulate", smallScenario)
+	if miss.Code != http.StatusOK {
+		t.Fatalf("miss status %d: %s", miss.Code, miss.Body.String())
+	}
+	hit := post(t, s.Handler(), "/v1/simulate", smallScenario)
+	if hit.Code != http.StatusOK {
+		t.Fatalf("hit status %d", hit.Code)
+	}
+	bad := post(t, s.Handler(), "/v1/simulate", "{nope")
+	if bad.Code != http.StatusBadRequest {
+		t.Fatalf("bad status %d", bad.Code)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 log lines, got %d:\n%s", len(lines), buf.String())
+	}
+	lineFormat := regexp.MustCompile(`^req id=\S+ endpoint=simulate code=\d+ cache=\S+ key=\S+ dur=\S+$`)
+	for i, l := range lines {
+		if !lineFormat.MatchString(l) {
+			t.Errorf("line %d malformed: %q", i, l)
+		}
+	}
+	keyed := regexp.MustCompile(`key=[0-9a-f]{64} `)
+	if !strings.Contains(lines[0], "code=200 cache=miss ") || !keyed.MatchString(lines[0]) {
+		t.Errorf("miss line wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "code=200 cache=hit ") || !keyed.MatchString(lines[1]) {
+		t.Errorf("hit line wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "code=400 cache=- key=-") {
+		t.Errorf("reject line wrong: %q", lines[2])
+	}
+
+	// The header ID, the log-line ID, and the error-body ID all agree.
+	badID := bad.Header().Get("X-Request-ID")
+	if badID == "" {
+		t.Fatal("no X-Request-ID header")
+	}
+	if !strings.Contains(lines[2], "id="+badID+" ") {
+		t.Errorf("log line does not carry header ID %s: %q", badID, lines[2])
+	}
+	if !strings.Contains(bad.Body.String(), "(request "+badID+")") {
+		t.Errorf("error body does not echo request ID: %q", bad.Body.String())
+	}
+	missID, hitID := miss.Header().Get("X-Request-ID"), hit.Header().Get("X-Request-ID")
+	if missID == hitID {
+		t.Error("request IDs repeat")
+	}
+}

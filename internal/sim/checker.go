@@ -368,6 +368,11 @@ func (c *InvariantChecker) checkProgress() {
 func (c *InvariantChecker) checkRecoveryBound() {
 	now := c.net.now
 	c.dlBuf = c.net.FindDeadlock()
+	if t := c.net.tele; t != nil && t.probeOn() && len(c.dlBuf) > 0 {
+		k := c.dlBuf[0]
+		t.emit(Event{Cycle: now, Kind: EvOracleDeadlock, Router: k.Router,
+			Port: k.Port, VC: k.Index, Arg: int64(len(c.dlBuf))})
+	}
 	current := make(map[DeadlockedVC]bool, len(c.dlBuf))
 	for _, k := range c.dlBuf {
 		current[k] = true

@@ -95,6 +95,10 @@ type Network struct {
 	// checker, when attached, audits the network's invariants every
 	// cycle (see checker.go).
 	checker *InvariantChecker
+
+	// tele, when attached, is the observability layer (see telemetry.go).
+	// Every hot-path hook is a nil-check on it.
+	tele *Telemetry
 }
 
 // NewNetwork builds a network from cfg, attaching the scheme's agents.
@@ -235,6 +239,10 @@ func (n *Network) inject(src int, spec PacketSpec, pooled bool) *Packet {
 	n.cfg.Routing.AtSource(n.routers[p.SrcRouter], p)
 	n.nics[src].push(p)
 	n.queuedPackets++
+	if n.tele != nil && n.tele.probeOn() {
+		n.tele.emit(Event{Cycle: n.now, Kind: EvPacketQueued, Router: p.SrcRouter,
+			Packet: p.ID, Src: p.Src, Dst: p.Dst, VNet: p.VNet})
+	}
 	return p
 }
 
@@ -322,6 +330,9 @@ func (n *Network) Step() {
 	}
 	n.stats.Cycles++
 	n.now++
+	if n.tele != nil {
+		n.tele.onCycle()
+	}
 }
 
 // deliverArrivals moves flits and SMs that complete link traversal this
@@ -373,6 +384,11 @@ func (n *Network) deliverLink(l *link) {
 		})
 	}
 	for _, t := range n.smBuf {
+		if n.tele != nil && n.tele.probeOn() {
+			n.tele.emit(Event{Cycle: n.now, Kind: EvSMDeliver, Router: l.dst.ID,
+				Port: l.topo.DstPort, Src: t.sm.Sender, VNet: int(t.sm.VNet),
+				SM: t.sm.Kind.String(), Tag: t.sm.Tag, Arg: t.sm.SpinCycle})
+		}
 		if a := l.dst.agent; a != nil {
 			a.HandleSM(t.sm, l.topo.DstPort)
 		}
@@ -404,6 +420,10 @@ func (n *Network) ejected(f Flit) {
 	if n.measuring() {
 		n.stats.EjectedFlitsMeas++
 	}
+	if n.tele != nil && n.tele.probeOn() {
+		n.tele.emit(Event{Cycle: n.now, Kind: EvFlitEject, Router: f.Pkt.DstRouter,
+			Packet: f.Pkt.ID, VNet: f.Pkt.VNet})
+	}
 	if !f.IsTail() {
 		return
 	}
@@ -427,6 +447,9 @@ func (n *Network) ejected(f Flit) {
 		if lat > n.stats.MaxLatency {
 			n.stats.MaxLatency = lat
 		}
+	}
+	if n.tele != nil {
+		n.tele.onEject(p, p.EjectCycle-p.GenCycle, p.GenCycle >= n.cfg.StatsStart)
 	}
 	if n.ejectHook != nil {
 		n.ejectHook(p)

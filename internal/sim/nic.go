@@ -65,12 +65,20 @@ func (n *NIC) injectStep(net *Network) {
 		p.InjectCycle = now
 		net.inNetwork++
 		v.reserve(p, now, false)
+		if net.tele != nil && net.tele.probeOn() {
+			net.tele.emit(Event{Cycle: now, Kind: EvPacketInject, Router: n.router.ID,
+				Port: n.port, VC: v.index, Packet: p.ID, Src: p.Src, Dst: p.Dst, VNet: p.VNet})
+		}
 	}
 	n.curVC.enqueue(Flit{Pkt: n.cur, Seq: n.curSeq}, now)
 	if net.measuring() {
 		net.stats.BufferWrites++
 	}
 	net.stats.InjectedFlits++
+	if net.tele != nil && net.tele.probeOn() {
+		net.tele.emit(Event{Cycle: now, Kind: EvFlitInject, Router: n.router.ID,
+			Port: n.port, VC: n.curVC.index, Packet: n.cur.ID, VNet: n.cur.VNet})
+	}
 	n.curSeq++
 	if n.curSeq == n.cur.Length {
 		net.stats.Injected++

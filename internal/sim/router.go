@@ -234,10 +234,20 @@ func (r *Router) CloneSM(m *SM) *SM {
 
 // FreezeVC marks the VC as frozen: it no longer participates in normal
 // switch allocation and its resident packet will only move during a spin.
-func (r *Router) FreezeVC(v *VC) { v.frozen = true }
+func (r *Router) FreezeVC(v *VC) {
+	if t := r.net.tele; t != nil && !v.frozen && t.probeOn() {
+		t.emit(Event{Cycle: r.net.now, Kind: EvVCFreeze, Router: r.ID, Port: v.port, VC: v.index})
+	}
+	v.frozen = true
+}
 
 // UnfreezeVC lifts a freeze (kill_move processing).
-func (r *Router) UnfreezeVC(v *VC) { v.frozen = false }
+func (r *Router) UnfreezeVC(v *VC) {
+	if t := r.net.tele; t != nil && v.frozen && t.probeOn() {
+		t.emit(Event{Cycle: r.net.now, Kind: EvVCUnfreeze, Router: r.ID, Port: v.port, VC: v.index})
+	}
+	v.frozen = false
+}
 
 // StartSpin begins the synchronized movement of v's frozen resident
 // packet: from this cycle on the engine force-transmits one flit per cycle
@@ -251,6 +261,10 @@ func (r *Router) StartSpin(v *VC, outPort int, target *VC) {
 	if !v.spinning {
 		v.spinning = true
 		r.spinningVCs++
+		if t := r.net.tele; t != nil && t.probeOn() {
+			t.emit(Event{Cycle: r.net.now, Kind: EvSpinStart, Router: r.ID,
+				Port: v.port, VC: v.index, Arg: int64(outPort)})
+		}
 	}
 	v.frozen = false
 	v.outPort = outPort
@@ -339,6 +353,10 @@ func (r *Router) resolveSMs() {
 		if r.spinClaimed[p] || r.outLink[p] == nil {
 			r.net.stats.SMDropped += int64(len(cands))
 			for _, c := range cands {
+				if t := r.net.tele; t != nil && t.probeOn() {
+					t.emit(Event{Cycle: r.net.now, Kind: EvSMDrop, Router: r.ID, Port: p,
+						Src: c.Sender, VNet: int(c.VNet), SM: c.Kind.String(), Tag: c.Tag, Arg: c.SpinCycle})
+				}
 				r.net.freeSM(c)
 			}
 			continue
@@ -354,6 +372,10 @@ func (r *Router) resolveSMs() {
 		r.net.stats.SMDropped += int64(len(cands) - 1)
 		for _, c := range cands {
 			if c != win {
+				if t := r.net.tele; t != nil && t.probeOn() {
+					t.emit(Event{Cycle: r.net.now, Kind: EvSMDrop, Router: r.ID, Port: p,
+						Src: c.Sender, VNet: int(c.VNet), SM: c.Kind.String(), Tag: c.Tag, Arg: c.SpinCycle})
+				}
 				r.net.freeSM(c)
 			}
 		}
@@ -366,6 +388,13 @@ func (r *Router) resolveSMs() {
 			l.smCycles[win.Kind]++
 		}
 		r.net.stats.SMSent[win.Kind]++
+		if t := r.net.tele; t != nil {
+			t.busySM++
+			if t.probeOn() {
+				t.emit(Event{Cycle: r.net.now, Kind: EvSMSend, Router: r.ID, Port: p,
+					Src: win.Sender, VNet: int(win.VNet), SM: win.Kind.String(), Tag: win.Tag, Arg: win.SpinCycle})
+			}
+		}
 	}
 }
 
@@ -523,6 +552,9 @@ func (r *Router) sendFlitFrom(v *VC, out int, dvc *VC) {
 	dvc.inFlight++
 	l.sendFlit(r.net.now, f, dvc)
 	r.net.markLinkActive(l.index)
+	if r.net.tele != nil {
+		r.net.tele.busyFlit++
+	}
 	if r.net.measuring() {
 		l.flitCycles++
 		r.net.stats.BufferReads++

@@ -191,6 +191,11 @@ func (v *VC) clearResidentState() {
 	if v.spinning {
 		v.spinning = false
 		v.router.spinningVCs--
+		n := v.router.net
+		if n.tele != nil && n.tele.probeOn() {
+			n.tele.emit(Event{Cycle: n.now, Kind: EvSpinEnd, Router: v.router.ID,
+				Port: v.port, VC: v.index})
+		}
 	}
 }
 

@@ -1,0 +1,85 @@
+// Package telemetry holds the observer-side half of the simulator's
+// observability layer: an event recorder (a bounded ring buffer
+// implementing sim.Probe) and a Chrome/Perfetto trace-event exporter.
+// The emitting half — the probe hooks, window sampler, and latency
+// histogram — lives in internal/sim so it can sit inside the hot path.
+package telemetry
+
+import "repro/internal/sim"
+
+// KindMask selects which event kinds a Recorder keeps.
+type KindMask uint64
+
+// Has reports whether kind k is selected.
+func (m KindMask) Has(k sim.EventKind) bool { return m&(1<<uint(k)) != 0 }
+
+// With returns the mask with kind k added.
+func (m KindMask) With(k sim.EventKind) KindMask { return m | 1<<uint(k) }
+
+// Without returns the mask with kind k removed.
+func (m KindMask) Without(k sim.EventKind) KindMask { return m &^ (1 << uint(k)) }
+
+// AllEvents selects every event kind.
+const AllEvents KindMask = ^KindMask(0)
+
+// DefaultMask keeps lifecycle and SPIN events but drops the per-flit
+// kinds, which dominate event volume at load (one event per flit per
+// endpoint) while adding little over the packet-level events.
+var DefaultMask = AllEvents.
+	Without(sim.EvFlitInject).
+	Without(sim.EvFlitEject)
+
+// Recorder is a bounded ring buffer of simulator events. Attach it via
+// sim.TelemetryOptions.Probe; when full it overwrites the oldest entry,
+// so after a long run it holds the most recent Cap() events — exactly
+// the "tail before the failure" that harness artifacts embed.
+type Recorder struct {
+	mask  KindMask
+	ring  []sim.Event
+	next  int   // ring slot the next event lands in
+	total int64 // events kept (before capping), for Dropped accounting
+}
+
+// NewRecorder returns a recorder keeping the last cap events matching
+// DefaultMask. Use SetMask to widen or narrow the selection.
+func NewRecorder(cap int) *Recorder {
+	if cap <= 0 {
+		cap = 256
+	}
+	return &Recorder{mask: DefaultMask, ring: make([]sim.Event, 0, cap)}
+}
+
+// SetMask replaces the kind filter (affects future events only).
+func (r *Recorder) SetMask(m KindMask) { r.mask = m }
+
+// Event implements sim.Probe.
+func (r *Recorder) Event(e sim.Event) {
+	if !r.mask.Has(e.Kind) {
+		return
+	}
+	r.total++
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, e)
+		return
+	}
+	r.ring[r.next] = e
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+	}
+}
+
+// Total reports how many events matched the mask (kept + overwritten).
+func (r *Recorder) Total() int64 { return r.total }
+
+// Len reports how many events are currently buffered.
+func (r *Recorder) Len() int { return len(r.ring) }
+
+// Events returns the buffered events oldest-first. The slice is a copy;
+// the recorder may keep recording.
+func (r *Recorder) Events() []sim.Event {
+	out := make([]sim.Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}

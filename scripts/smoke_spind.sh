@@ -2,9 +2,14 @@
 # End-to-end smoke test for the spind daemon: build, boot with a temp
 # cache dir, wait for /healthz, run one small mesh simulation twice and
 # assert the repeat is a cache hit with byte-identical body, scrape
-# /metrics, then SIGTERM mid-flight and assert the in-flight request
-# still completes (graceful drain). Run from the repo root; CI runs it
-# in the smoke job.
+# /metrics (including the simulator-level telemetry series), run a
+# telemetry-enabled request (latency percentiles + time-series in the
+# response), assert the structured request log, then SIGTERM mid-flight
+# and assert the in-flight request still completes (graceful drain).
+# With SMOKE_ARTIFACTS_DIR set, sample observability outputs (a Perfetto
+# trace, a time-series JSON, the telemetry response, the request log)
+# are left there for CI to upload. Run from the repo root; CI runs it in
+# the smoke job.
 set -euo pipefail
 
 ADDR="127.0.0.1:${SPIND_PORT:-18080}"
@@ -15,7 +20,7 @@ echo "== build"
 go build -o "$TMP/spind" ./cmd/spind
 
 echo "== boot (cachedir $TMP/cache)"
-"$TMP/spind" -addr "$ADDR" -cachedir "$TMP/cache" &
+"$TMP/spind" -addr "$ADDR" -cachedir "$TMP/cache" 2> "$TMP/spind.log" &
 SPIND_PID=$!
 
 for i in $(seq 1 50); do
@@ -41,6 +46,31 @@ curl -fsS "http://$ADDR/metrics" | tee "$TMP/metrics" | grep -E '^spind_cache_(h
 grep -q '^spind_cache_hits_total 1$' "$TMP/metrics"
 grep -q '^spind_cache_misses_total 1$' "$TMP/metrics"
 
+echo "== simulator-level metrics"
+grep -q '^spind_sim_spins_total ' "$TMP/metrics"
+grep -q '^spind_sim_recoveries_total ' "$TMP/metrics"
+grep -q '^spind_sim_probes_total ' "$TMP/metrics"
+grep -q '^spind_sim_kill_moves_total ' "$TMP/metrics"
+grep -q '^spind_sim_deadlock_firings_total ' "$TMP/metrics"
+grep -q 'spind_sim_packet_latency_cycles_bucket{quantile="p50",le="+Inf"} 1' "$TMP/metrics"
+grep -q 'spind_sim_packet_latency_cycles_count{quantile="p99"} 1' "$TMP/metrics"
+
+echo "== telemetry request (latency percentiles + time-series)"
+TBODY='{"topology":"mesh:8x8","routing":"min_adaptive","scheme":"spin","traffic":"uniform_random","rate":0.05,"cycles":5000,"seed":1,"telemetry":true,"epoch":500}'
+curl -fsS -D "$TMP/h3" -o "$TMP/r3" -d "$TBODY" "http://$ADDR/v1/simulate"
+grep -i '^x-cache: miss' "$TMP/h3" >/dev/null || { echo "telemetry request shares the plain cache entry"; exit 1; }
+grep -i '^x-request-id:' "$TMP/h3" >/dev/null || { echo "no X-Request-ID header"; exit 1; }
+for field in '"latency"' '"p50"' '"p95"' '"p99"' '"time_series"' '"spin-timeseries-v1"'; do
+  grep -q "$field" "$TMP/r3" || { echo "telemetry response missing $field:"; cat "$TMP/r3"; exit 1; }
+done
+grep -q '"latency"' "$TMP/r1" && { echo "plain response leaks telemetry fields"; exit 1; }
+
+echo "== request log"
+grep -E 'req id=[0-9a-f]+-[0-9]+ endpoint=simulate code=200 cache=miss key=[0-9a-f]{64} dur=' "$TMP/spind.log" >/dev/null \
+  || { echo "no structured miss line:"; cat "$TMP/spind.log"; exit 1; }
+grep -E 'req id=.* endpoint=simulate code=200 cache=hit ' "$TMP/spind.log" >/dev/null \
+  || { echo "no structured hit line:"; cat "$TMP/spind.log"; exit 1; }
+
 echo "== graceful drain: SIGTERM with a request in flight"
 SLOW='{"topology":"mesh:8x8","routing":"min_adaptive","scheme":"spin","traffic":"uniform_random","rate":0.05,"cycles":200000,"seed":7}'
 curl -fsS -o "$TMP/slow" -d "$SLOW" "http://$ADDR/v1/simulate" &
@@ -50,5 +80,18 @@ kill -TERM "$SPIND_PID"
 wait "$CURL_PID" || { echo "in-flight request failed during drain"; exit 1; }
 grep -q '"stats"' "$TMP/slow" || { echo "drained response incomplete"; exit 1; }
 wait "$SPIND_PID"
+
+if [ -n "${SMOKE_ARTIFACTS_DIR:-}" ]; then
+  echo "== observability sample artifacts -> $SMOKE_ARTIFACTS_DIR"
+  mkdir -p "$SMOKE_ARTIFACTS_DIR"
+  go build -o "$TMP/spinsim" ./cmd/spinsim
+  "$TMP/spinsim" -topo mesh:8x8 -routing favors_min -scheme spin -vcs 1 \
+    -traffic uniform_random -rate 0.40 -seed 7 -cycles 6000 -warmup 1000 \
+    -trace "$SMOKE_ARTIFACTS_DIR/sample-trace.json" -epoch 500 -hist \
+    -tsout "$SMOKE_ARTIFACTS_DIR/sample-timeseries.json" > "$SMOKE_ARTIFACTS_DIR/spinsim-summary.txt"
+  cp "$TMP/r3" "$SMOKE_ARTIFACTS_DIR/telemetry-response.json"
+  cp "$TMP/metrics" "$SMOKE_ARTIFACTS_DIR/metrics.txt"
+  cp "$TMP/spind.log" "$SMOKE_ARTIFACTS_DIR/spind-request-log.txt"
+fi
 
 echo "smoke: OK"
