@@ -52,6 +52,7 @@ func main() {
 		cachedir  = flag.String("cachedir", "", "directory for the on-disk result cache (empty = in-memory only)")
 		cachemem  = flag.Int("cachemem", 0, "in-memory cache entries (0 = default 1024)")
 		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "spatial shards per simulation (0/1 = serial); capped so workers x shards never oversubscribes GOMAXPROCS; never changes results")
 		queue     = flag.Int("queue", 0, "accepted-but-waiting jobs before shedding 429s (0 = 4x workers)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request simulation budget")
 		maxcycles = flag.Int64("maxcycles", 2_000_000, "largest cycles value a request may ask for")
@@ -67,6 +68,7 @@ func main() {
 	cfg := serve.Config{
 		Cache:     store,
 		Workers:   *workers,
+		Shards:    *shards,
 		QueueSize: *queue,
 		Timeout:   *timeout,
 		MaxCycles: *maxcycles,
@@ -101,7 +103,8 @@ func main() {
 	if workersEff <= 0 {
 		workersEff = runtime.GOMAXPROCS(0)
 	}
-	log.Printf("listening on %s (workers=%d, cachedir=%q)", *addr, workersEff, *cachedir)
+	log.Printf("listening on %s (workers=%d, shards=%d requested, cachedir=%q; resolved counts on /metrics)",
+		*addr, workersEff, *shards, *cachedir)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -6,7 +6,9 @@
 // the replicate index — and reports per-replicate and aggregate numbers,
 // the cheap way to put confidence intervals on a single design point.
 // -timeout bounds each run, -progress reports completions, and Ctrl-C
-// cancels promptly.
+// cancels promptly. -shards N steps the network itself on N spatial
+// shards (byte-identical results at any shard count; incompatible with
+// -record/-replay, which capture the global injection order).
 //
 // Usage:
 //
@@ -69,6 +71,7 @@ func main() {
 		record   = flag.String("record", "", "record the injected workload to a CSV trace file")
 		replay   = flag.String("replay", "", "drive the run from a CSV trace file instead of -traffic")
 		seeds    = flag.Int("seeds", 1, "replicate count: run the configuration under N derived seeds")
+		shards   = flag.Int("shards", 0, "spatial shards per simulation for the parallel cycle engine (0/1 = serial); never changes results")
 		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON of the run to this file (open in ui.perfetto.dev)")
 		tracebuf = flag.Int("tracebuf", 1<<18, "trace ring capacity: -trace keeps the last N non-flit events")
 		epoch    = flag.Int64("epoch", 0, "telemetry time-series window in cycles (0 = default 100 when a time-series consumer is on)")
@@ -121,6 +124,7 @@ func main() {
 		Warmup:     *warmup,
 		Seed:       *seed,
 		TDD:        *tdd,
+		Shards:     *shards,
 	}
 	if *preset != "" {
 		p, err := spin.PresetByName(*preset)
@@ -133,6 +137,7 @@ func main() {
 		cfg.Warmup = *warmup
 		cfg.Seed = *seed
 		cfg.TDD = *tdd
+		cfg.Shards = *shards
 	}
 	telemetryOn := *traceOut != "" || *tsout != "" || *hist || *epoch != 0
 	if *seeds > 1 {
@@ -144,6 +149,9 @@ func main() {
 		}
 		runReplicates(ctx, cfg, *cycles, *seeds, *workers, *timeout, *progress, *check)
 		return
+	}
+	if (*record != "" || *replay != "") && *shards > 1 {
+		log.Fatal("-record/-replay capture the global injection order and need the serial engine; drop -shards")
 	}
 	if *replay != "" {
 		cfg.Traffic = "" // the trace drives injection

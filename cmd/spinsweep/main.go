@@ -7,6 +7,14 @@
 // stderr. Results are bit-identical at any worker count for a given
 // -seed. Ctrl-C cancels the sweep promptly.
 //
+// -shards N additionally parallelizes inside each simulation point via
+// the sharded cycle engine — useful when one paper-scale point dominates
+// the sweep. Shard count never changes results either; when
+// workers x shards would oversubscribe GOMAXPROCS the shard count is
+// capped (resolved values are printed under -progress). -preset runs a
+// latency curve for one named Table III preset (see -pattern, -maxrate)
+// instead of a figure.
+//
 // Dispatch and JSON encoding live in internal/exp (Sweep, EncodeJSON)
 // and are shared with the spind daemon's /v1/sweep endpoint, so the CLI
 // and the API emit byte-identical results for identical requests.
@@ -22,6 +30,7 @@
 //	spinsweep -fig 10           # area overheads
 //	spinsweep -fig all -workers 8
 //	spinsweep -fig 7 -cycles 100000 -full   # paper-scale run
+//	spinsweep -preset dfly1024 -shards 8 -progress   # sharded engine on one big preset
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 
 	"repro/internal/exp"
@@ -42,12 +52,16 @@ func main() {
 	log.SetPrefix("spinsweep: ")
 	var (
 		fig      = flag.String("fig", "all", "figure to regenerate: 3, 6, 7, 8a, 8b, 9, 10, costs, torus, deflection, all")
+		preset   = flag.String("preset", "", "sweep one named Table III preset (e.g. dfly1024, mesh64x64) instead of a figure")
+		pattern  = flag.String("pattern", "uniform_random", "synthetic traffic pattern for -preset sweeps")
+		maxrate  = flag.Float64("maxrate", 0.6, "top of the offered-load ladder for -preset sweeps")
 		cycles   = flag.Int64("cycles", 0, "cycles per point (0 = default 20000)")
 		warmup   = flag.Int64("warmup", 0, "warmup cycles (0 = cycles/10, negative = no warmup)")
 		full     = flag.Bool("full", false, "full-size topologies (8x8 mesh, 1024-node dragonfly); default uses scaled-down instances")
 		seed     = flag.Int64("seed", 1, "base random seed; per-point seeds derive from it and each point's key")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text")
 		workers  = flag.Int("workers", 0, "concurrent simulation points (0 = GOMAXPROCS); never changes results")
+		shards   = flag.Int("shards", 0, "spatial shards per simulation point (0/1 = serial); capped so workers x shards never oversubscribes GOMAXPROCS; never changes results")
 		timeout  = flag.Duration("timeout", 0, "per-simulation-point time budget (0 = unlimited), e.g. 30s")
 		progress = flag.Bool("progress", false, "stream per-point completions to stderr")
 		check    = flag.Bool("check", false, "attach the runtime invariant checker to every sweep point; a violation fails that point")
@@ -61,12 +75,32 @@ func main() {
 	if *epoch != 0 && !*tele {
 		log.Fatal("-epoch needs -telemetry")
 	}
+	// Sweep-level workers and run-level shards multiply: cap the shard
+	// count so the product never oversubscribes GOMAXPROCS (neither knob
+	// changes results, so the cap is free to apply).
+	maxp := runtime.GOMAXPROCS(0)
+	workersEff := *workers
+	if workersEff <= 0 {
+		workersEff = maxp
+	}
+	shardsEff := *shards
+	if shardsEff < 1 {
+		shardsEff = 1
+	}
+	if workersEff*shardsEff > maxp {
+		shardsEff = maxp / workersEff
+		if shardsEff < 1 {
+			shardsEff = 1
+		}
+	}
 	o := exp.Options{
 		Cycles: *cycles, Warmup: *warmup, Small: !*full, Seed: *seed,
-		Workers: *workers, Timeout: *timeout, Check: *check,
+		Workers: *workers, Shards: shardsEff, Timeout: *timeout, Check: *check,
 		Telemetry: *tele, Epoch: *epoch,
 	}
 	if *progress {
+		fmt.Fprintf(os.Stderr, "spinsweep: parallelism workers=%d shards=%d/point (requested %d, GOMAXPROCS %d)\n",
+			workersEff, shardsEff, *shards, maxp)
 		o.Progress = progressPrinter()
 	}
 	emit := func(v interface{}) error {
@@ -77,6 +111,16 @@ func main() {
 		return nil
 	}
 
+	if *preset != "" {
+		v, err := exp.PresetSweep(ctx, *preset, *pattern, *maxrate, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := emit(v); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *fig == "all" {
 		// All figures dispatch through one shared pool: each figure is a
 		// job whose own points fan out on the same scheduler, and the

@@ -59,6 +59,18 @@ type Report struct {
 	// the current machine's calibration to this.
 	CalibrationNs float64  `json:"calibration_ns"`
 	Workloads     []Result `json:"workloads"`
+	// Scaling records the sharded engine's measured ns/cycle at several
+	// shard counts on the paper-scale workloads (informational: speedup
+	// depends on the producing machine's core count, recorded in NumCPU).
+	NumCPU  int             `json:"num_cpu,omitempty"`
+	Scaling []ScalingResult `json:"scaling,omitempty"`
+}
+
+// ScalingResult is one (workload, shard count) cell of the scaling table.
+type ScalingResult struct {
+	Workload   string  `json:"workload"`
+	Shards     int     `json:"shards"`
+	NsPerCycle float64 `json:"ns_per_cycle"`
 }
 
 // Schema is the current BENCH_sim.json schema version.
@@ -93,6 +105,52 @@ func Workloads() []Workload {
 		mk("dfly64/low", "dragonfly:4,4,4,16", "ugal_spin", 0.05),
 		mk("dfly64/sat", "dragonfly:4,4,4,16", "ugal_spin", 0.20),
 	}
+}
+
+// ScaleWorkloads is the paper-scale matrix behind BenchmarkStepShards
+// and the scaling table: the Table III presets the sharded engine was
+// built to make interactive. Cycle counts are short — one cycle of the
+// 1024-node dragonfly costs roughly what a whole mesh8x8 measurement
+// window does — and warmup is just long enough to fill the pipeline.
+func ScaleWorkloads() []Workload {
+	mk := func(name, preset string, rate float64) Workload {
+		p, err := spin.PresetByName(preset)
+		if err != nil {
+			panic(err) // presets are compiled in; absence is a bug
+		}
+		cfg := p.Config
+		cfg.Traffic = "uniform_random"
+		cfg.Rate = rate
+		cfg.Seed = 17
+		return Workload{Name: name, Cfg: cfg, Warmup: 200, Cycles: 100}
+	}
+	return []Workload{
+		mk("dfly1024/low", "dfly1024", 0.05),
+		mk("mesh64x64/low", "mesh64x64", 0.05),
+	}
+}
+
+// ShardCounts is the shard ladder measured by the scaling table and
+// BenchmarkStepShards.
+func ShardCounts() []int { return []int{1, 2, 4, 8} }
+
+// CollectScaling measures each scale workload's ns/cycle across the
+// shard ladder. Speedups are meaningful only when the machine has the
+// cores to back them (Report.NumCPU records that context).
+func CollectScaling() ([]ScalingResult, error) {
+	var out []ScalingResult
+	for _, w := range ScaleWorkloads() {
+		for _, shards := range ShardCounts() {
+			sw := w
+			sw.Cfg.Shards = shards
+			r, err := Measure(sw)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ScalingResult{Workload: w.Name, Shards: shards, NsPerCycle: r.NsPerCycle})
+		}
+	}
+	return out, nil
 }
 
 // Measure runs one workload and reports per-cycle cost. The warmup phase
@@ -151,7 +209,7 @@ func Calibrate() float64 {
 // counts come from the first run, which is deterministic) and stamps the
 // report with the machine calibration.
 func Collect(reps int) (Report, error) {
-	rep := Report{Schema: Schema, GoVersion: runtime.Version(), CalibrationNs: Calibrate()}
+	rep := Report{Schema: Schema, GoVersion: runtime.Version(), CalibrationNs: Calibrate(), NumCPU: runtime.NumCPU()}
 	for _, w := range Workloads() {
 		var best Result
 		for i := 0; i < reps; i++ {
@@ -167,6 +225,11 @@ func Collect(reps int) (Report, error) {
 		}
 		rep.Workloads = append(rep.Workloads, best)
 	}
+	scaling, err := CollectScaling()
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Scaling = scaling
 	return rep, nil
 }
 

@@ -2,7 +2,9 @@ package bench
 
 import (
 	"flag"
+	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	spin "repro"
@@ -89,25 +91,84 @@ func TestStepAllocBudget(t *testing.T) {
 		t.Skip("race instrumentation allocates")
 	}
 	for _, name := range []string{"mesh8x8/sat", "dfly64/sat"} {
-		t.Run(name, func(t *testing.T) {
-			var w Workload
-			for _, cand := range Workloads() {
-				if cand.Name == name {
-					w = cand
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/shards%d", name, shards), func(t *testing.T) {
+				var w Workload
+				for _, cand := range Workloads() {
+					if cand.Name == name {
+						w = cand
+					}
 				}
-			}
-			if w.Name == "" {
-				t.Fatalf("workload %s not defined", name)
-			}
-			s, err := spin.New(w.Cfg)
+				if w.Name == "" {
+					t.Fatalf("workload %s not defined", name)
+				}
+				cfg := w.Cfg
+				cfg.Shards = shards
+				s, err := spin.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.Run(8000)
+				if avg := testing.AllocsPerRun(300, func() { s.Run(1) }); avg != 0 {
+					t.Errorf("steady-state Step allocates %.4f objects/cycle, want 0", avg)
+				}
+			})
+		}
+	}
+}
+
+// TestShardScalingGate measures the sharded engine's speedup at 4
+// shards on the paper-scale mesh and gates on the >=1.5x target. The
+// target only makes sense with cores to back it, so below 4 CPUs the
+// test skips; on multicore hardware a miss is advisory unless
+// BENCH_STRICT is set (the CI bench job's posture, mirrored from
+// TestBenchRegression).
+func TestShardScalingGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation distorts timing")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("%d CPUs: shard scaling needs >= 4 cores to measure", runtime.NumCPU())
+	}
+	var w Workload
+	for _, cand := range ScaleWorkloads() {
+		if cand.Name == "mesh64x64/low" {
+			w = cand
+		}
+	}
+	if w.Name == "" {
+		t.Fatal("scale workload mesh64x64/low not defined")
+	}
+	measure := func(shards int) float64 {
+		sw := w
+		sw.Cfg.Shards = shards
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			r, err := Measure(sw)
 			if err != nil {
 				t.Fatal(err)
 			}
-			s.Run(8000)
-			if avg := testing.AllocsPerRun(300, func() { s.Run(1) }); avg != 0 {
-				t.Errorf("steady-state Step allocates %.4f objects/cycle, want 0", avg)
+			if best == 0 || r.NsPerCycle < best {
+				best = r.NsPerCycle
 			}
-		})
+		}
+		return best
+	}
+	ns1 := measure(1)
+	ns4 := measure(4)
+	speedup := ns1 / ns4
+	t.Logf("mesh64x64/low: %.0f ns/cycle serial, %.0f ns/cycle at 4 shards (%.2fx, %d CPUs)",
+		ns1, ns4, speedup, runtime.NumCPU())
+	if speedup < 1.5 {
+		msg := "4-shard speedup %.2fx below the 1.5x target"
+		if os.Getenv("BENCH_STRICT") != "" {
+			t.Errorf(msg, speedup)
+		} else {
+			t.Logf(msg+" — advisory only; set BENCH_STRICT=1 to enforce", speedup)
+		}
 	}
 }
 
@@ -125,6 +186,29 @@ func BenchmarkStep(b *testing.B) {
 			b.ResetTimer()
 			s.Run(int64(b.N))
 		})
+	}
+}
+
+// BenchmarkStepShards exposes the paper-scale workloads across the
+// shard ladder, the `go test -bench` view of the scaling table. On a
+// 1-core runner the sub-serial shards>1 rows measure the coordination
+// overhead; on multicore they measure the speedup.
+func BenchmarkStepShards(b *testing.B) {
+	for _, w := range ScaleWorkloads() {
+		for _, shards := range ShardCounts() {
+			b.Run(fmt.Sprintf("%s/shards%d", w.Name, shards), func(b *testing.B) {
+				cfg := w.Cfg
+				cfg.Shards = shards
+				s, err := spin.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Run(w.Warmup)
+				b.ReportAllocs()
+				b.ResetTimer()
+				s.Run(int64(b.N))
+			})
+		}
 	}
 }
 

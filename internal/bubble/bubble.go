@@ -28,6 +28,11 @@ type RingBubble struct {
 // Name implements sim.Scheme.
 func (b *RingBubble) Name() string { return "bubble_fc" }
 
+// RequiresSerialStep implements sim.SerialOnly: the spare-bubble check
+// scans live VC state around the whole ring, which crosses shard
+// boundaries mid-phase, so the scheme needs the serial engine.
+func (b *RingBubble) RequiresSerialStep() bool { return true }
+
 // Attach implements sim.Scheme.
 func (b *RingBubble) Attach(n *sim.Network) {
 	for i := 0; i < n.NumRouters(); i++ {

@@ -25,6 +25,11 @@ type StaticBubble struct {
 // Name implements sim.Scheme.
 func (s *StaticBubble) Name() string { return "static_bubble" }
 
+// RequiresSerialStep implements sim.SerialOnly: the agents only inspect
+// their own router's VCs and static downstream VC indices, so the scheme
+// runs under the sharded engine.
+func (s *StaticBubble) RequiresSerialStep() bool { return false }
+
 // Attach implements sim.Scheme.
 func (s *StaticBubble) Attach(n *sim.Network) {
 	if s.TDD == 0 {
@@ -81,7 +86,7 @@ func (a *sbAgent) Tick() {
 			} else if now-since >= a.scheme.TDD {
 				if a.recovery[key] != pk.ID {
 					a.recovery[key] = pk.ID
-					a.r.Net().Stats().Count("static_bubble_recoveries", 1)
+					a.r.Stats().Count("static_bubble_recoveries", 1)
 				}
 			}
 		}

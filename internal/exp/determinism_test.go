@@ -45,6 +45,33 @@ func TestFig7DeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestFig7DeterministicAcrossShards is the sharded engine's determinism
+// contract: the sweep JSON must be byte-identical whether each
+// simulation steps serially or split across 2 or 8 spatial shards,
+// independently of the worker-pool size. Run under -race this also
+// exercises the compute/commit phase separation for data races.
+func TestFig7DeterministicAcrossShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := Options{Cycles: 1200, Small: true, Seed: 7, Workers: 2, Shards: 1}
+	base, err := Fig7(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := figJSON(t, base)
+	for _, shards := range []int{2, 8} {
+		o.Shards = shards
+		figs, err := Fig7(context.Background(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := figJSON(t, figs); string(got) != string(want) {
+			t.Fatalf("shards=%d produced different figure data than shards=1", shards)
+		}
+	}
+}
+
 // TestFig3DeterministicAcrossWorkers covers the second sweep shape (the
 // onset search, whose jobs derive per-rate sub-seeds internally).
 func TestFig3DeterministicAcrossWorkers(t *testing.T) {

@@ -1,0 +1,82 @@
+package routing
+
+import "repro/internal/sim"
+
+// CloneForShard implementations for the sharded cycle engine: each clone
+// shares the instance's precomputed lookup tables (read-only after an
+// eager build here — a lazy build inside Route would race across shards)
+// and carries private scratch buffers. Table (test-only explicit routing)
+// deliberately has no clone; networks using it run serial.
+
+// CloneForShard implements sim.ShardCloner.
+func (x *XY) CloneForShard() sim.RoutingAlgorithm {
+	if x.tbl == nil {
+		x.tbl = buildXYTable(x.Mesh)
+	}
+	c := *x
+	return &c
+}
+
+// CloneForShard implements sim.ShardCloner.
+func (w *WestFirst) CloneForShard() sim.RoutingAlgorithm {
+	if w.tbl == nil {
+		w.tbl = buildPortTable(w.Mesh.NumRouters(), func(cur, dst int) []int {
+			return westFirstPorts(w.Mesh, cur, dst, nil)
+		})
+	}
+	c := *w
+	c.scratch = nil
+	return &c
+}
+
+// CloneForShard implements sim.ShardCloner.
+func (a *MinAdaptive) CloneForShard() sim.RoutingAlgorithm {
+	if a.into == nil {
+		a.into = minimalSource(a.Topo)
+	}
+	c := *a
+	c.scratch = nil
+	return &c
+}
+
+// CloneForShard implements sim.ShardCloner.
+func (e *EscapeVC) CloneForShard() sim.RoutingAlgorithm {
+	if e.xyTbl == nil {
+		e.xyTbl = buildXYTable(e.Mesh)
+	}
+	c := *e
+	c.scratch = nil
+	return &c
+}
+
+// CloneForShard implements sim.ShardCloner.
+func (d *DflyMinimal) CloneForShard() sim.RoutingAlgorithm {
+	if d.VCLadder && d.tbl == nil {
+		d.tbl = canonicalPortTable(d.Dfly)
+	}
+	c := *d
+	c.scratch = nil
+	return &c
+}
+
+// CloneForShard implements sim.ShardCloner.
+func (u *UGAL) CloneForShard() sim.RoutingAlgorithm {
+	if u.VCLadder && u.tbl == nil {
+		u.tbl = canonicalPortTable(u.Dfly)
+	}
+	c := *u
+	c.scratch = nil
+	c.vcBuf = nil
+	return &c
+}
+
+// CloneForShard implements sim.ShardCloner.
+func (f *FAvORS) CloneForShard() sim.RoutingAlgorithm {
+	if f.into == nil {
+		f.into = minimalSource(f.Topo)
+	}
+	c := *f
+	c.scratch = nil
+	c.scratch2 = nil
+	return &c
+}

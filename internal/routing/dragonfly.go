@@ -149,7 +149,7 @@ func (u *UGAL) portCongestion(r *sim.Router, ports []int, p *sim.Packet) int64 {
 		u.vcBuf = r.DownstreamVCs(port, p.VNet, mask, u.vcBuf[:0])
 		var occ int64
 		for _, vc := range u.vcBuf {
-			occ += int64(vc.Len())
+			occ += int64(vc.SnapLen())
 		}
 		if occ < best {
 			best = occ

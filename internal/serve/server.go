@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -45,6 +46,14 @@ type Config struct {
 	Cache *cache.Store
 	// Workers bounds concurrently running jobs (0 = GOMAXPROCS).
 	Workers int
+	// Shards is the spatial shard count each simulation's cycle engine
+	// runs with (0 or 1 = serial). Shards never change results — the
+	// engine is byte-deterministic at any count — so the knob does not
+	// participate in cache keys. The effective value is capped so
+	// Workers x Shards never oversubscribes GOMAXPROCS; both the
+	// resolved worker and shard counts are exported on /metrics
+	// (spind_workers_effective, spind_shards_effective).
+	Shards int
 	// QueueSize bounds accepted-but-not-running jobs (0 = 4x workers);
 	// beyond it the server sheds load with 429 + Retry-After.
 	QueueSize int
@@ -160,6 +169,11 @@ type Server struct {
 	mSimDeadlocks *counter
 	mSimLatency   *histogram
 
+	// Resolved parallelism: workersEff is the pool size, shardsEff the
+	// per-simulation shard count after the oversubscription cap.
+	workersEff int
+	shardsEff  int
+
 	reqSeq atomic.Uint64 // request-ID sequence (satellite: request logging)
 
 	// testCompute, when set (tests only), replaces the simulation body
@@ -187,6 +201,26 @@ func New(cfg Config) (*Server, error) {
 		cfg.QueueSize = 4 * workers
 	}
 	s := &Server{cfg: cfg, store: cfg.Cache, mux: http.NewServeMux(), start: time.Now(), reg: newRegistry()}
+
+	// Resolve the parallelism budget: request-level workers multiply
+	// with per-simulation shards, so cap the shard count to keep the
+	// product within GOMAXPROCS (shards never change results, so the
+	// cap is free).
+	maxp := runtime.GOMAXPROCS(0)
+	s.workersEff = cfg.Workers
+	if s.workersEff <= 0 {
+		s.workersEff = maxp
+	}
+	s.shardsEff = cfg.Shards
+	if s.shardsEff < 1 {
+		s.shardsEff = 1
+	}
+	if s.workersEff*s.shardsEff > maxp {
+		s.shardsEff = maxp / s.workersEff
+		if s.shardsEff < 1 {
+			s.shardsEff = 1
+		}
+	}
 
 	s.mRequests = s.reg.counter("spind_requests_total", "HTTP requests by endpoint and status code.")
 	s.mReqSeconds = s.reg.histogram("spind_request_duration_seconds", "End-to-end request latency by endpoint.",
@@ -221,6 +255,10 @@ func New(cfg Config) (*Server, error) {
 		snap(func(st cache.Stats) float64 { return float64(st.MemEntries) }))
 	s.reg.gaugeFunc("spind_uptime_seconds", "Seconds since the daemon started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.gaugeFunc("spind_workers_effective", "Resolved worker-pool size (concurrent simulations).",
+		func() float64 { return float64(s.workersEff) })
+	s.reg.gaugeFunc("spind_shards_effective", "Resolved per-simulation shard count after the GOMAXPROCS oversubscription cap.",
+		func() float64 { return float64(s.shardsEff) })
 
 	s.pool = runner.NewPool[[]byte](runner.PoolOptions{
 		Workers:   cfg.Workers,
@@ -393,6 +431,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return s.pool.Submit(ctx, runner.Job[[]byte]{Key: key, Run: func(jctx context.Context, _ int64) ([]byte, error) {
 			o := n.Options()
 			o.Workers = s.cfg.Workers
+			o.Shards = s.shardsEff
 			v, err := exp.Sweep(jctx, n.Fig, o)
 			if err != nil {
 				return nil, err
@@ -466,7 +505,9 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, key string, 
 func (s *Server) runSimulation(ctx context.Context, req SimRequest, key string) ([]byte, error) {
 	start := time.Now()
 	sc := req.Scenario
-	simulation, err := spin.New(sc.Config())
+	cfg := sc.Config()
+	cfg.Shards = s.shardsEff // execution knob: never in the cache key
+	simulation, err := spin.New(cfg)
 	if err != nil {
 		// The specs parsed as JSON but name unknown topologies/routings:
 		// the client's fault, not the server's.

@@ -235,11 +235,16 @@ func TestSetTrafficSwapsGenerator(t *testing.T) {
 		Seed:       9,
 	})
 	n.Run(500)
-	before := n.Stats().Injected
-	if before == 0 {
+	if n.Stats().Injected == 0 {
 		t.Fatal("no injection")
 	}
 	n.SetTraffic(nil)
+	// Packets already queued at the swap still inject; drain them, then
+	// nothing new may appear.
+	if !n.Drain(20000) {
+		t.Fatal("network failed to drain after SetTraffic(nil)")
+	}
+	before := n.Stats().Injected
 	n.Run(500)
 	if n.Stats().Injected != before {
 		t.Fatal("injection continued after SetTraffic(nil)")

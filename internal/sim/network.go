@@ -2,15 +2,19 @@ package sim
 
 import (
 	"fmt"
-	"math/bits"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/topology"
 )
 
 // TrafficGen produces packets. Generate is called once per terminal per
 // cycle and emits zero or more packet specs to inject at that terminal.
+// The supplied rng is the terminal's private stream; generators must not
+// share mutable state across terminals unless they declare themselves
+// serial-only (see SerialOnly).
 type TrafficGen interface {
 	Name() string
 	Generate(cycle int64, src int, rng *rand.Rand, emit func(PacketSpec))
@@ -28,6 +32,14 @@ type Config struct {
 	VCDepth     int // flits per VC; default 5
 	MaxPktLen   int // largest packet the traffic emits; default 5
 	RouterDelay int // per-hop router pipeline cycles; default 1 (1-cycle router)
+
+	// Shards is the number of spatial router partitions stepped in
+	// parallel; 0 or 1 runs the engine inline with no goroutines. The
+	// count is an execution knob, not part of the simulated system:
+	// output is byte-identical at any value. It is clamped to the router
+	// count and to 1 when the scheme, traffic generator, or routing
+	// algorithm requires serial stepping (see SerialOnly/ShardCloner).
+	Shards int
 
 	Seed       int64
 	StatsStart int64 // cycle measurement begins (warmup length)
@@ -64,6 +76,39 @@ func (c *Config) setDefaults() error {
 	return nil
 }
 
+// resolveShards clamps the configured shard count to what the assembled
+// simulation supports. Schemes and traffic generators must positively
+// declare shard-safety via SerialOnly; routing algorithms must implement
+// ShardCloner. Anything else runs serial.
+func (c *Config) resolveShards() int {
+	s := c.Shards
+	if s <= 0 {
+		s = 1
+	}
+	if r := c.Topology.NumRouters(); s > r {
+		s = r
+	}
+	if s == 1 {
+		return 1
+	}
+	if c.Scheme != nil {
+		so, ok := c.Scheme.(SerialOnly)
+		if !ok || so.RequiresSerialStep() {
+			return 1
+		}
+	}
+	if c.Traffic != nil {
+		so, ok := c.Traffic.(SerialOnly)
+		if !ok || so.RequiresSerialStep() {
+			return 1
+		}
+	}
+	if _, ok := c.Routing.(ShardCloner); !ok {
+		return 1
+	}
+	return s
+}
+
 // Network is a running simulation instance.
 type Network struct {
 	cfg     Config
@@ -72,22 +117,29 @@ type Network struct {
 	nics    []*NIC
 	rng     *rand.Rand
 	now     int64
-	pktID   uint64
 	stats   Stats
+
+	// Per-entity RNG streams (see rng.go): routers draw for adaptive
+	// tie-breaking, terminals for traffic generation. The engine never
+	// draws from the legacy shared rng.
+	routerRNG []*rand.Rand
+	termRNG   []*rand.Rand
 
 	inNetwork     int // packets injected (head) but not fully ejected
 	queuedPackets int // packets waiting in NIC source queues (incremental)
 
-	flitBuf []flitTransit
-	smBuf   []smTransit
-
-	// Hot-path scratch and free lists.
-	activeRouters []*Router // routers stepped this cycle (ascending id)
-	linkActive    []uint64  // bitset of links with traffic in flight
-	pktPool       []*Packet // recycled traffic-generated packets
-	smPool        []*SM     // recycled special messages
-	injectTerm    int       // terminal the stored traffic closure injects at
-	injectFn      func(PacketSpec)
+	// Sharded engine state (see shard.go). nShards==1 still builds one
+	// shard — the outbox discipline is the single code path — but runs it
+	// inline with no worker goroutines.
+	nShards     int
+	shards      []*shardState
+	routerShard []int32
+	termShard   []int32
+	linkShard   []int32
+	work        chan func()
+	phaseWG     sync.WaitGroup
+	p1fns       []func()
+	p2fns       []func()
 
 	// ejectHook, when set, observes every ejected packet (tests, traces).
 	ejectHook func(*Packet)
@@ -106,13 +158,19 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	cfg.Shards = cfg.resolveShards()
+	n := &Network{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), nShards: cfg.Shards}
 	topo := cfg.Topology
 	n.routers = make([]*Router, topo.NumRouters())
 	for i := range n.routers {
 		n.routers[i] = newRouter(n, i)
 	}
-	for i, tl := range topo.Links() {
+	// Links are ordered by destination router (stable over the topology's
+	// declaration order) so each shard's inbound links form one contiguous
+	// index range; shard-major traversal then equals global link order.
+	topoLinks := append([]topology.Link(nil), topo.Links()...)
+	sort.SliceStable(topoLinks, func(i, j int) bool { return topoLinks[i].Dst < topoLinks[j].Dst })
+	for i, tl := range topoLinks {
 		l := &link{topo: tl, index: i, dst: n.routers[tl.Dst]}
 		n.links = append(n.links, l)
 		n.routers[tl.Src].outLink[tl.SrcPort] = l
@@ -125,20 +183,124 @@ func NewNetwork(cfg Config) (*Network, error) {
 	for _, l := range n.links {
 		l.global = n.isGlobalHop(l)
 	}
-	n.linkActive = make([]uint64, (len(n.links)+63)/64)
-	n.activeRouters = make([]*Router, 0, len(n.routers))
-	// One stored closure serves every terminal's traffic generation; the
-	// per-cycle loop in Step repoints injectTerm instead of allocating a
-	// fresh closure per terminal per cycle.
-	n.injectFn = func(spec PacketSpec) { n.inject(n.injectTerm, spec, true) }
+	n.routerRNG = make([]*rand.Rand, len(n.routers))
+	for i := range n.routerRNG {
+		n.routerRNG[i] = newEntityRand(cfg.Seed, RouterKey(i))
+	}
+	n.termRNG = make([]*rand.Rand, len(n.nics))
+	for i := range n.termRNG {
+		n.termRNG[i] = newEntityRand(cfg.Seed, TerminalKey(i))
+	}
+	n.buildShards()
+	if tp, ok := cfg.Traffic.(TrafficPrep); ok {
+		tp.PrepareTerminals(len(n.nics))
+	}
 	if cfg.Scheme != nil {
 		cfg.Scheme.Attach(n)
+	}
+	for _, r := range n.routers {
+		for _, v := range r.vcFlat {
+			v.refreshSnap()
+		}
 	}
 	return n, nil
 }
 
-// Config returns the simulation configuration.
+// buildShards partitions routers into contiguous ranges, assigns
+// terminals and inbound links to their owners, clones per-shard routing
+// scratch, and (for multi-shard runs) starts the persistent workers.
+func (n *Network) buildShards() {
+	topo := n.cfg.Topology
+	nr := len(n.routers)
+	n.shards = make([]*shardState, n.nShards)
+	n.routerShard = make([]int32, nr)
+	for si := 0; si < n.nShards; si++ {
+		s := &shardState{n: n, id: si, r0: si * nr / n.nShards, r1: (si + 1) * nr / n.nShards}
+		n.shards[si] = s
+		for r := s.r0; r < s.r1; r++ {
+			n.routerShard[r] = int32(si)
+			n.routers[r].shard = s
+		}
+		if si == 0 || n.nShards == 1 {
+			s.routing = n.cfg.Routing
+		} else {
+			s.routing = n.cfg.Routing.(ShardCloner).CloneForShard()
+		}
+		sh := s
+		s.injectFn = func(spec PacketSpec) { n.inject(sh, sh.injectTerm, spec, true) }
+	}
+	n.termShard = make([]int32, len(n.nics))
+	for t := range n.nics {
+		si := n.routerShard[topo.TerminalRouter(t)]
+		n.termShard[t] = si
+		s := n.shards[si]
+		s.terms = append(s.terms, int32(t))
+	}
+	n.linkShard = make([]int32, len(n.links))
+	for i, l := range n.links {
+		n.linkShard[i] = n.routerShard[l.topo.Dst]
+	}
+	// Links are dst-sorted, so each shard's range is contiguous.
+	lo := 0
+	for si, s := range n.shards {
+		s.l0 = lo
+		for lo < len(n.links) && int(n.linkShard[lo]) == si {
+			lo++
+		}
+		s.l1 = lo
+		s.linkActive = make([]uint64, (s.l1-s.l0+63)/64)
+	}
+	n.p1fns = make([]func(), n.nShards)
+	n.p2fns = make([]func(), n.nShards)
+	for si, s := range n.shards {
+		sh := s
+		if si == 0 {
+			n.p1fns[0] = sh.phase1
+			n.p2fns[0] = sh.phase2
+			continue
+		}
+		n.p1fns[si] = func() {
+			defer n.phaseWG.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					sh.panicVal = r
+				}
+			}()
+			sh.phase1()
+		}
+		n.p2fns[si] = func() {
+			defer n.phaseWG.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					sh.panicVal = r
+				}
+			}()
+			sh.phase2()
+		}
+	}
+	if n.nShards > 1 {
+		// Persistent workers blocked on the work channel. They capture
+		// only the channel, so the finalizer can reclaim the network and
+		// shut them down once it becomes unreachable.
+		work := make(chan func())
+		n.work = work
+		for i := 0; i < n.nShards-1; i++ {
+			go func() {
+				for f := range work {
+					f()
+				}
+			}()
+		}
+		runtime.SetFinalizer(n, func(nn *Network) { close(nn.work) })
+	}
+}
+
+// Config returns the simulation configuration (with the resolved shard
+// count).
 func (n *Network) Config() Config { return n.cfg }
+
+// Shards reports the resolved shard count the engine runs with.
+func (n *Network) Shards() int { return n.nShards }
 
 // Topology returns the simulated topology.
 func (n *Network) Topology() topology.Topology { return n.cfg.Topology }
@@ -155,11 +317,20 @@ func (n *Network) NIC(t int) *NIC { return n.nics[t] }
 // Now reports the current cycle.
 func (n *Network) Now() int64 { return n.now }
 
-// Stats returns the accumulated statistics.
+// Stats returns the accumulated statistics. Between steps the shard
+// accumulators are always drained, so the totals are current.
 func (n *Network) Stats() *Stats { return &n.stats }
 
-// RNG returns the simulation's random source.
+// RNG returns the legacy shared random source. The engine itself draws
+// from per-router and per-terminal streams (RouterRNG/TerminalRNG); this
+// source is kept for callers that need a deterministic scratch stream.
 func (n *Network) RNG() *rand.Rand { return n.rng }
+
+// RouterRNG returns router id's private stream.
+func (n *Network) RouterRNG(id int) *rand.Rand { return n.routerRNG[id] }
+
+// TerminalRNG returns terminal t's private stream.
+func (n *Network) TerminalRNG(t int) *rand.Rand { return n.termRNG[t] }
 
 // InFlight reports packets currently inside the network (injection started,
 // ejection not finished).
@@ -186,6 +357,7 @@ func (n *Network) SetAgent(router int, a Agent) {
 	r := n.routers[router]
 	r.agent = a
 	r.qagent, _ = a.(Quiescer)
+	r.vpub, _ = a.(ViewPublisher)
 }
 
 // SetEjectHook registers an observer for every ejected packet.
@@ -199,32 +371,42 @@ func (n *Network) measuring() bool { return n.now >= n.cfg.StatsStart }
 func (n *Network) InjectPacket(src int, spec PacketSpec) *Packet {
 	// Packets injected through the public API are never pooled: callers
 	// routinely retain the pointer past ejection (tests, trace capture).
-	return n.inject(src, spec, false)
+	s := n.shards[n.termShard[src]]
+	p := n.inject(s, src, spec, false)
+	// Public injections happen between steps; fold the gauge delta now so
+	// QueuedPackets is immediately consistent.
+	n.queuedPackets += s.dQueued
+	s.dQueued = 0
+	return p
 }
 
 // inject creates (or recycles) a packet and enqueues it at src's NIC.
-// Pooled packets come from — and on ejection return to — the free list;
-// only the engine's own traffic-generation path uses pooling, and only
-// while no eject observer could retain the pointer.
-func (n *Network) inject(src int, spec PacketSpec, pooled bool) *Packet {
+// Pooled packets come from — and on ejection return to — the shard free
+// list; only the engine's own traffic-generation path uses pooling, and
+// only while no eject observer could retain the pointer.
+func (n *Network) inject(s *shardState, src int, spec PacketSpec, pooled bool) *Packet {
 	if spec.Length <= 0 || spec.Length > n.cfg.MaxPktLen {
 		panic(fmt.Sprintf("sim: packet length %d outside (0,%d]", spec.Length, n.cfg.MaxPktLen))
 	}
 	if spec.VNet < 0 || spec.VNet >= n.cfg.VNets {
 		panic(fmt.Sprintf("sim: vnet %d out of range", spec.VNet))
 	}
-	n.pktID++
+	nic := n.nics[src]
+	// Packet IDs interleave per-terminal sequence numbers: unique, nonzero,
+	// and independent of the generation order across terminals.
+	id := uint64(nic.pktSeq)*uint64(len(n.nics)) + uint64(src) + 1
+	nic.pktSeq++
 	var p *Packet
-	if pooled && len(n.pktPool) > 0 {
-		k := len(n.pktPool) - 1
-		p = n.pktPool[k]
-		n.pktPool[k] = nil
-		n.pktPool = n.pktPool[:k]
+	if pooled && len(s.pktPool) > 0 {
+		k := len(s.pktPool) - 1
+		p = s.pktPool[k]
+		s.pktPool[k] = nil
+		s.pktPool = s.pktPool[:k]
 	} else {
 		p = new(Packet)
 	}
 	*p = Packet{
-		ID:           n.pktID,
+		ID:           id,
 		Src:          src,
 		Dst:          spec.Dst,
 		SrcRouter:    n.cfg.Topology.TerminalRouter(src),
@@ -236,172 +418,22 @@ func (n *Network) inject(src int, spec PacketSpec, pooled bool) *Packet {
 		pooled:       pooled,
 	}
 	p.Checksum = checksumFor(p.ID, p.Src, p.Dst, p.Length)
-	n.cfg.Routing.AtSource(n.routers[p.SrcRouter], p)
-	n.nics[src].push(p)
-	n.queuedPackets++
+	s.routing.AtSource(n.routers[p.SrcRouter], p)
+	nic.push(p)
+	s.dQueued++
 	if n.tele != nil && n.tele.probeOn() {
-		n.tele.emit(Event{Cycle: n.now, Kind: EvPacketQueued, Router: p.SrcRouter,
+		s.emitEvent(Event{Cycle: n.now, Kind: EvPacketQueued, Router: p.SrcRouter,
 			Packet: p.ID, Src: p.Src, Dst: p.Dst, VNet: p.VNet})
 	}
 	return p
 }
 
-// allocSM pulls a recycled special message from the free list (keeping
-// its Path capacity) or allocates a fresh one.
-func (n *Network) allocSM() *SM {
-	if k := len(n.smPool); k > 0 {
-		sm := n.smPool[k-1]
-		n.smPool[k-1] = nil
-		n.smPool = n.smPool[:k-1]
-		path := sm.Path[:0]
-		*sm = SM{Path: path, pooled: true}
-		return sm
-	}
-	return &SM{pooled: true}
-}
-
-// freeSM returns a pool-owned SM to the free list. SMs built directly by
-// tests (composite literals) are left to the garbage collector.
-func (n *Network) freeSM(sm *SM) {
-	if sm == nil || !sm.pooled {
-		return
-	}
-	n.smPool = append(n.smPool, sm)
-}
-
-// Step advances the simulation by one cycle.
+// Step advances the simulation by one cycle: two parallel phases over the
+// shards, then the serial commit (see shard.go).
 func (n *Network) Step() {
-	// 1. Deliver link arrivals.
-	n.deliverArrivals()
-	// 2. Traffic generation and NIC injection.
-	if n.cfg.Traffic != nil {
-		for t := range n.nics {
-			n.injectTerm = t
-			n.cfg.Traffic.Generate(n.now, t, n.rng, n.injectFn)
-		}
-	}
-	for t := range n.nics {
-		n.nics[t].injectStep(n)
-	}
-	// Active-set worklist: the remaining stages only touch routers with
-	// buffered flits, pending SMs, a spin in flight, or an awake agent.
-	// Everything that could wake a router this cycle has happened by now
-	// (arrivals, SM delivery, injection), and stale per-router scratch is
-	// cleared lazily by each stage when the router next runs.
-	active := n.activeRouters[:0]
-	for _, r := range n.routers {
-		if r.active() {
-			active = append(active, r)
-		}
-	}
-	n.activeRouters = active
-	// 3. Route computation for freshly arrived heads.
-	for _, r := range active {
-		r.routeStage()
-	}
-	// 4. Deadlock agents.
-	for _, r := range active {
-		if r.agent != nil {
-			r.agent.Tick()
-		}
-	}
-	// 5. Spin claims, then SM arbitration onto links.
-	for _, r := range active {
-		r.claimSpinPorts()
-	}
-	for _, r := range active {
-		r.resolveSMs()
-	}
-	// 6. Switch allocation and flit transmission.
-	for _, r := range active {
-		r.clearUsed()
-	}
-	for _, r := range active {
-		r.spinStage()
-	}
-	for _, r := range active {
-		r.saStage()
-	}
-	if n.checker != nil {
-		n.checker.endOfStep()
-	}
-	if n.measuring() {
-		n.stats.MeasuredCycles++
-	}
-	n.stats.Cycles++
-	n.now++
-	if n.tele != nil {
-		n.tele.onCycle()
-	}
-}
-
-// deliverArrivals moves flits and SMs that complete link traversal this
-// cycle into input VCs and agent inboxes. Only links with traffic in
-// flight are visited (the active-link bitset), in ascending link order —
-// the same order the full scan used.
-func (n *Network) deliverArrivals() {
-	for w, word := range n.linkActive {
-		for word != 0 {
-			b := bits.TrailingZeros64(word)
-			word &^= 1 << uint(b)
-			l := n.links[w*64+b]
-			n.deliverLink(l)
-			if len(l.flits) == 0 && len(l.sms) == 0 {
-				n.linkActive[w] &^= 1 << uint(b)
-			}
-		}
-	}
-}
-
-func (n *Network) deliverLink(l *link) {
-	n.flitBuf = n.flitBuf[:0]
-	n.smBuf = n.smBuf[:0]
-	n.flitBuf, n.smBuf = l.takeArrivals(n.now, n.flitBuf, n.smBuf)
-	for _, t := range n.flitBuf {
-		t.dst.inFlight--
-		t.dst.enqueue(t.flit, n.now)
-		if n.measuring() {
-			n.stats.BufferWrites++
-		}
-		if t.flit.IsHead() {
-			pkt := t.flit.Pkt
-			pkt.Hops++
-			// Misroute accounting: a hop that fails to reduce the
-			// distance to the phase-local destination.
-			cur, prev := l.dst.ID, l.topo.Src
-			topo := n.cfg.Topology
-			if topo.Distance(cur, pkt.RouteDst()) >= topo.Distance(prev, pkt.RouteDst()) {
-				pkt.Misroutes++
-			}
-			if l.global {
-				pkt.GlobalHops++
-			}
-		}
-	}
-	if len(n.smBuf) > 1 {
-		sort.SliceStable(n.smBuf, func(i, j int) bool {
-			return n.smBuf[i].sm.Kind.ClassPriority() > n.smBuf[j].sm.Kind.ClassPriority()
-		})
-	}
-	for _, t := range n.smBuf {
-		if n.tele != nil && n.tele.probeOn() {
-			n.tele.emit(Event{Cycle: n.now, Kind: EvSMDeliver, Router: l.dst.ID,
-				Port: l.topo.DstPort, Src: t.sm.Sender, VNet: int(t.sm.VNet),
-				SM: t.sm.Kind.String(), Tag: t.sm.Tag, Arg: t.sm.SpinCycle})
-		}
-		if a := l.dst.agent; a != nil {
-			a.HandleSM(t.sm, l.topo.DstPort)
-		}
-		// Delivered SMs are dead: agents copy (CloneSM) anything they
-		// forward and never retain the original.
-		n.freeSM(t.sm)
-	}
-}
-
-// markLinkActive records that link i has traffic in flight, so
-// deliverArrivals will visit it.
-func (n *Network) markLinkActive(i int) {
-	n.linkActive[i>>6] |= 1 << uint(i&63)
+	n.runParallel(n.p1fns)
+	n.runParallel(n.p2fns)
+	n.commit()
 }
 
 // isGlobalHop reports whether a link is a dragonfly global channel.
@@ -411,58 +443,6 @@ func (n *Network) isGlobalHop(l *link) bool {
 		return false
 	}
 	return d.Group(l.topo.Src) != d.Group(l.topo.Dst)
-}
-
-// ejected accounts a flit leaving the network; on tails it finalises the
-// packet and verifies end-to-end integrity.
-func (n *Network) ejected(f Flit) {
-	n.stats.EjectedFlits++
-	if n.measuring() {
-		n.stats.EjectedFlitsMeas++
-	}
-	if n.tele != nil && n.tele.probeOn() {
-		n.tele.emit(Event{Cycle: n.now, Kind: EvFlitEject, Router: f.Pkt.DstRouter,
-			Packet: f.Pkt.ID, VNet: f.Pkt.VNet})
-	}
-	if !f.IsTail() {
-		return
-	}
-	p := f.Pkt
-	if p.Checksum != checksumFor(p.ID, p.Src, p.Dst, p.Length) {
-		panic(fmt.Sprintf("sim: payload corruption in %v", p))
-	}
-	if dst := n.cfg.Topology.TerminalRouter(p.Dst); dst != p.DstRouter {
-		panic(fmt.Sprintf("sim: %v ejected at wrong router", p))
-	}
-	p.EjectCycle = n.now
-	n.stats.Ejected++
-	n.inNetwork--
-	if p.GenCycle >= n.cfg.StatsStart {
-		n.stats.EjectedMeasured++
-		lat := p.EjectCycle - p.GenCycle
-		n.stats.LatencySum += lat
-		n.stats.NetLatencySum += p.EjectCycle - p.InjectCycle
-		n.stats.HopSum += int64(p.Hops)
-		n.stats.MisrouteSum += int64(p.Misroutes)
-		if lat > n.stats.MaxLatency {
-			n.stats.MaxLatency = lat
-		}
-	}
-	if n.tele != nil {
-		n.tele.onEject(p, p.EjectCycle-p.GenCycle, p.GenCycle >= n.cfg.StatsStart)
-	}
-	if n.ejectHook != nil {
-		n.ejectHook(p)
-	}
-	if n.checker != nil {
-		n.checker.onEject(p)
-	}
-	// Recycle traffic-generated packets, but only while nothing outside
-	// the engine could have retained the pointer: eject observers (hooks,
-	// the invariant checker) may legitimately hold ejected packets.
-	if p.pooled && n.ejectHook == nil && n.checker == nil {
-		n.pktPool = append(n.pktPool, p)
-	}
 }
 
 // Run advances the simulation by cycles steps.
@@ -514,5 +494,18 @@ func (n *Network) LinkUtilisation() LinkUtilisation {
 }
 
 // SetTraffic replaces the open-loop traffic generator (nil disables
-// generation; queued and in-flight packets are unaffected).
-func (n *Network) SetTraffic(g TrafficGen) { n.cfg.Traffic = g }
+// generation; queued and in-flight packets are unaffected). A sharded
+// network rejects generators that require serial stepping — the shard
+// count is fixed at construction.
+func (n *Network) SetTraffic(g TrafficGen) {
+	if g != nil && n.nShards > 1 {
+		so, ok := g.(SerialOnly)
+		if !ok || so.RequiresSerialStep() {
+			panic(fmt.Sprintf("sim: traffic %s requires serial stepping but the network runs %d shards", g.Name(), n.nShards))
+		}
+	}
+	if tp, ok := g.(TrafficPrep); ok {
+		tp.PrepareTerminals(len(n.nics))
+	}
+	n.cfg.Traffic = g
+}

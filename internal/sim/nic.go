@@ -17,6 +17,11 @@ type NIC struct {
 	cur    *Packet
 	curVC  *VC
 	curSeq int
+
+	// pktSeq counts packets injected at this terminal; packet IDs are
+	// derived from it (interleaved across terminals) so they are unique and
+	// independent of the cross-terminal generation order.
+	pktSeq int64
 }
 
 // QueueLen reports the number of packets waiting at the source, including
@@ -47,8 +52,11 @@ func (n *NIC) pop() *Packet {
 	return p
 }
 
-// injectStep moves at most one flit into the router this cycle.
-func (n *NIC) injectStep(net *Network) {
+// injectStep moves at most one flit into the router this cycle. It runs in
+// phase 1 on the shard owning the attached router; gauges and stats go
+// through the shard's accumulators. The terminal VCs it touches are
+// shard-local, so reservation and enqueue stay on the live path.
+func (n *NIC) injectStep(net *Network, s *shardState) {
 	now := net.now
 	if n.cur == nil {
 		if n.head == len(n.queue) {
@@ -60,28 +68,28 @@ func (n *NIC) injectStep(net *Network) {
 			return
 		}
 		n.pop()
-		net.queuedPackets--
+		s.dQueued--
 		n.cur, n.curVC, n.curSeq = p, v, 0
 		p.InjectCycle = now
-		net.inNetwork++
+		s.dInNetwork++
 		v.reserve(p, now, false)
 		if net.tele != nil && net.tele.probeOn() {
-			net.tele.emit(Event{Cycle: now, Kind: EvPacketInject, Router: n.router.ID,
+			s.emitEvent(Event{Cycle: now, Kind: EvPacketInject, Router: n.router.ID,
 				Port: n.port, VC: v.index, Packet: p.ID, Src: p.Src, Dst: p.Dst, VNet: p.VNet})
 		}
 	}
 	n.curVC.enqueue(Flit{Pkt: n.cur, Seq: n.curSeq}, now)
 	if net.measuring() {
-		net.stats.BufferWrites++
+		s.stats.BufferWrites++
 	}
-	net.stats.InjectedFlits++
+	s.stats.InjectedFlits++
 	if net.tele != nil && net.tele.probeOn() {
-		net.tele.emit(Event{Cycle: now, Kind: EvFlitInject, Router: n.router.ID,
+		s.emitEvent(Event{Cycle: now, Kind: EvFlitInject, Router: n.router.ID,
 			Port: n.port, VC: n.curVC.index, Packet: n.cur.ID, VNet: n.cur.VNet})
 	}
 	n.curSeq++
 	if n.curSeq == n.cur.Length {
-		net.stats.Injected++
+		s.stats.Injected++
 		n.cur, n.curVC, n.curSeq = nil, nil, 0
 	}
 }

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+)
+
+// RNG discipline for the sharded engine: instead of one shared generator
+// whose draw sequence depends on iteration order, every router and every
+// terminal owns an independent stream seeded from (Config.Seed, entity
+// key). The sequence each entity observes is then a function of the
+// configuration alone, never of shard count or worker interleaving —
+// the foundation of the parallel-determinism contract.
+
+// splitmix64 is a tiny (16-byte) rand.Source64. The default Go source
+// carries ~5 KB of state per instance, which at one stream per router
+// plus one per terminal would dominate the simulator's footprint on
+// 1024-node topologies; splitmix64 passes the statistical bar for
+// tie-breaking and Bernoulli draws at 0.3% of the size.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// mix64 is the splitmix64 finalizer, identical to runner.SeedFor's.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// EntitySeed derives a per-entity stream seed from the simulation seed
+// and a stable entity key. The derivation mirrors runner.SeedFor exactly
+// (FNV-1a over the little-endian base followed by the key bytes,
+// finalized with mix64), so entity streams and sweep-point seeds come
+// from one documented scheme.
+func EntitySeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	h.Write([]byte(key))
+	return int64(mix64(h.Sum64()))
+}
+
+// RouterKey is the entity key of router id's stream.
+func RouterKey(id int) string { return "R:" + strconv.Itoa(id) }
+
+// TerminalKey is the entity key of terminal id's stream.
+func TerminalKey(id int) string { return "T:" + strconv.Itoa(id) }
+
+// newEntityRand builds one entity stream.
+func newEntityRand(base int64, key string) *rand.Rand {
+	return rand.New(&splitmix64{state: uint64(EntitySeed(base, key))})
+}

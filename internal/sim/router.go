@@ -19,8 +19,13 @@ type Router struct {
 	vcFlat  []*VC   // all input VCs in (port, vcIdx) order, for the SA scan
 	outLink []*link // per output port; nil for terminal/unwired ports
 
+	// shard is the engine partition that steps this router; all shard-local
+	// scratch, pools, stats, and outboxes live there.
+	shard *shardState
+
 	agent  Agent
-	qagent Quiescer // agent's optional quiescence probe (nil: always active)
+	qagent Quiescer      // agent's optional quiescence probe (nil: always active)
+	vpub   ViewPublisher // agent's optional cross-shard view hook
 
 	// Occupancy counters backing the active-set worklists: a router is
 	// stepped only when one of them is non-zero (or its agent is awake).
@@ -136,9 +141,16 @@ func (r *Router) Downstream(p int) (*Router, int, bool) {
 	return l.dst, l.topo.DstPort, true
 }
 
-// RNG exposes the simulation's deterministic random source for adaptive
-// tie-breaking.
-func (r *Router) RNG() *rand.Rand { return r.net.rng }
+// RNG exposes the router's private deterministic random stream for
+// adaptive tie-breaking. The stream is derived from (Config.Seed, router
+// id), so its draw sequence never depends on other routers' activity or on
+// the shard count.
+func (r *Router) RNG() *rand.Rand { return r.net.routerRNG[r.ID] }
+
+// Stats returns the shard-local statistics accumulator for this router.
+// Agents counting during the parallel phases must go through it (not
+// Net().Stats()); the deltas fold into the global Stats at commit.
+func (r *Router) Stats() *Stats { return &r.shard.stats }
 
 // Now reports the current cycle.
 func (r *Router) Now() int64 { return r.net.now }
@@ -162,8 +174,10 @@ func (r *Router) DownstreamVCs(p, vnet int, mask uint32, buf []*VC) []*VC {
 }
 
 // FreeVCAt reports whether some downstream VC at output port p (vnet,
-// mask) can accept a packet of the given length right now. Adaptive
-// algorithms use it as their primary congestion signal.
+// mask) could accept a packet of the given length as of the last commit.
+// Adaptive algorithms use it as their primary congestion signal; it reads
+// the commit snapshot, matching what real hardware's delayed credit
+// counters would show and keeping the answer shard-invariant.
 func (r *Router) FreeVCAt(p, vnet int, mask uint32, length int) bool {
 	d, inPort, ok := r.Downstream(p)
 	if !ok {
@@ -174,7 +188,7 @@ func (r *Router) FreeVCAt(p, vnet int, mask uint32, length int) bool {
 		if mask&(1<<uint(k)) == 0 {
 			continue
 		}
-		if d.in[inPort][base+k].CanAccept(length) {
+		if d.in[inPort][base+k].canAcceptSnap(length) {
 			return true
 		}
 	}
@@ -182,8 +196,9 @@ func (r *Router) FreeVCAt(p, vnet int, mask uint32, length int) bool {
 }
 
 // MinActiveTime reports the smallest ActiveTime among the downstream VCs
-// at output port p (vnet, mask) — 0 if any is idle. This is the FAvORS
-// port-contention proxy, obtainable in hardware from VC credits.
+// at output port p (vnet, mask) — 0 if any is idle — as of the last
+// commit. This is the FAvORS port-contention proxy, obtainable in hardware
+// from VC credits.
 func (r *Router) MinActiveTime(p, vnet int, mask uint32) int64 {
 	d, inPort, ok := r.Downstream(p)
 	if !ok {
@@ -196,7 +211,7 @@ func (r *Router) MinActiveTime(p, vnet int, mask uint32) int64 {
 		if mask&(1<<uint(k)) == 0 {
 			continue
 		}
-		if t := d.in[inPort][base+k].ActiveTime(now); t < best {
+		if t := d.in[inPort][base+k].activeTimeSnap(now); t < best {
 			best = t
 		}
 	}
@@ -209,22 +224,22 @@ func (r *Router) MinActiveTime(p, vnet int, mask uint32) int64 {
 // bufferless).
 func (r *Router) SendSM(p int, sm *SM) {
 	if !r.HasOutLink(p) {
-		r.net.freeSM(sm)
+		r.shard.freeSM(sm)
 		return
 	}
 	r.smSends[p] = append(r.smSends[p], sm)
 	r.smPending++
 }
 
-// NewSM returns a zeroed special message from the network's free list.
+// NewSM returns a zeroed special message from the shard's free list.
 // Agents should build SMs with it (and CloneSM) so that steady-state SM
 // traffic allocates nothing; SMs the engine drops or delivers are
 // recycled automatically.
-func (r *Router) NewSM() *SM { return r.net.allocSM() }
+func (r *Router) NewSM() *SM { return r.shard.allocSM() }
 
 // CloneSM returns a pooled deep copy of m, for forking or forwarding.
 func (r *Router) CloneSM(m *SM) *SM {
-	c := r.net.allocSM()
+	c := r.shard.allocSM()
 	path := c.Path
 	*c = *m
 	c.pooled = true
@@ -236,7 +251,7 @@ func (r *Router) CloneSM(m *SM) *SM {
 // switch allocation and its resident packet will only move during a spin.
 func (r *Router) FreezeVC(v *VC) {
 	if t := r.net.tele; t != nil && !v.frozen && t.probeOn() {
-		t.emit(Event{Cycle: r.net.now, Kind: EvVCFreeze, Router: r.ID, Port: v.port, VC: v.index})
+		r.shard.emitEvent(Event{Cycle: r.net.now, Kind: EvVCFreeze, Router: r.ID, Port: v.port, VC: v.index})
 	}
 	v.frozen = true
 }
@@ -244,7 +259,7 @@ func (r *Router) FreezeVC(v *VC) {
 // UnfreezeVC lifts a freeze (kill_move processing).
 func (r *Router) UnfreezeVC(v *VC) {
 	if t := r.net.tele; t != nil && v.frozen && t.probeOn() {
-		t.emit(Event{Cycle: r.net.now, Kind: EvVCUnfreeze, Router: r.ID, Port: v.port, VC: v.index})
+		r.shard.emitEvent(Event{Cycle: r.net.now, Kind: EvVCUnfreeze, Router: r.ID, Port: v.port, VC: v.index})
 	}
 	v.frozen = false
 }
@@ -262,14 +277,16 @@ func (r *Router) StartSpin(v *VC, outPort int, target *VC) {
 		v.spinning = true
 		r.spinningVCs++
 		if t := r.net.tele; t != nil && t.probeOn() {
-			t.emit(Event{Cycle: r.net.now, Kind: EvSpinStart, Router: r.ID,
+			r.shard.emitEvent(Event{Cycle: r.net.now, Kind: EvSpinStart, Router: r.ID,
 				Port: v.port, VC: v.index, Arg: int64(outPort)})
 		}
 	}
 	v.frozen = false
 	v.outPort = outPort
 	v.target = target
-	target.reserve(v.FrontPacket(), r.net.now, true)
+	// The target usually lives on another shard; its force reservation is
+	// buffered and applied (before any normal reservation) at commit.
+	r.shard.resvOps = append(r.shard.resvOps, resvOp{dvc: target, pkt: v.FrontPacket(), force: true})
 }
 
 // routeStage computes port requests for every VC whose resident head flit
@@ -297,9 +314,9 @@ func (r *Router) routeStage() {
 				v.routed = true
 				continue
 			}
-			r.routeBuf = r.net.cfg.Routing.Route(r, p, pkt, r.routeBuf[:0])
+			r.routeBuf = r.shard.routing.Route(r, p, pkt, r.routeBuf[:0])
 			if len(r.routeBuf) == 0 {
-				panic(fmt.Sprintf("sim: routing %s returned no ports for %v at router %d", r.net.cfg.Routing.Name(), pkt, r.ID))
+				panic(fmt.Sprintf("sim: routing %s returned no ports for %v at router %d", r.shard.routing.Name(), pkt, r.ID))
 			}
 			v.reqs = append(v.reqs[:0], r.routeBuf...)
 			v.routed = true
@@ -344,6 +361,7 @@ func (r *Router) resolveSMs() {
 		return
 	}
 	r.smPending = 0
+	s := r.shard
 	for p := 0; p < r.radix; p++ {
 		cands := r.smSends[p]
 		if len(cands) == 0 {
@@ -351,13 +369,13 @@ func (r *Router) resolveSMs() {
 		}
 		r.smSends[p] = cands[:0]
 		if r.spinClaimed[p] || r.outLink[p] == nil {
-			r.net.stats.SMDropped += int64(len(cands))
+			s.stats.SMDropped += int64(len(cands))
 			for _, c := range cands {
 				if t := r.net.tele; t != nil && t.probeOn() {
-					t.emit(Event{Cycle: r.net.now, Kind: EvSMDrop, Router: r.ID, Port: p,
+					s.emitEvent(Event{Cycle: r.net.now, Kind: EvSMDrop, Router: r.ID, Port: p,
 						Src: c.Sender, VNet: int(c.VNet), SM: c.Kind.String(), Tag: c.Tag, Arg: c.SpinCycle})
 				}
-				r.net.freeSM(c)
+				s.freeSM(c)
 			}
 			continue
 		}
@@ -369,29 +387,29 @@ func (r *Router) resolveSMs() {
 		} else {
 			win = cands[0]
 		}
-		r.net.stats.SMDropped += int64(len(cands) - 1)
+		s.stats.SMDropped += int64(len(cands) - 1)
 		for _, c := range cands {
 			if c != win {
 				if t := r.net.tele; t != nil && t.probeOn() {
-					t.emit(Event{Cycle: r.net.now, Kind: EvSMDrop, Router: r.ID, Port: p,
+					s.emitEvent(Event{Cycle: r.net.now, Kind: EvSMDrop, Router: r.ID, Port: p,
 						Src: c.Sender, VNet: int(c.VNet), SM: c.Kind.String(), Tag: c.Tag, Arg: c.SpinCycle})
 				}
-				r.net.freeSM(c)
+				s.freeSM(c)
 			}
 		}
 		l := r.outLink[p]
 		l.sendSM(r.net.now, win)
-		r.net.markLinkActive(l.index)
+		s.linkMarks = append(s.linkMarks, int32(l.index))
 		r.smBusy[p] = true
 		r.smBusyDirty = true
 		if r.net.measuring() {
 			l.smCycles[win.Kind]++
 		}
-		r.net.stats.SMSent[win.Kind]++
+		s.stats.SMSent[win.Kind]++
 		if t := r.net.tele; t != nil {
-			t.busySM++
+			s.busySM++
 			if t.probeOn() {
-				t.emit(Event{Cycle: r.net.now, Kind: EvSMSend, Router: r.ID, Port: p,
+				s.emitEvent(Event{Cycle: r.net.now, Kind: EvSMSend, Router: r.ID, Port: p,
 					Src: win.Sender, VNet: int(win.VNet), SM: win.Kind.String(), Tag: win.Tag, Arg: win.SpinCycle})
 			}
 		}
@@ -489,7 +507,10 @@ func (r *Router) tryContinue(v *VC) {
 	if r.smBusy[out] {
 		return
 	}
-	if v.target.FreeSlots() <= 0 {
+	// Downstream credit check against the commit snapshot: this VC is the
+	// only sender toward its reserved target, and it streams at most one
+	// flit per cycle, so the snapshot can never overshoot the live space.
+	if v.target.snapFree <= 0 {
 		return
 	}
 	r.sendFlitFrom(v, out, v.target)
@@ -527,13 +548,17 @@ func (r *Router) tryGrant(v *VC) {
 				continue
 			}
 			dvc := dvcs[base+k]
-			if !dvc.CanAccept(pkt.Length) {
+			if !dvc.canAcceptSnap(pkt.Length) {
 				continue
 			}
 			if r.agent != nil && !r.agent.FilterSend(v, out, dvc) {
 				continue
 			}
-			dvc.reserve(pkt, r.net.now, false)
+			// The reservation is buffered: the target lives on whatever shard
+			// owns the downstream router. Each input port has one feeding
+			// link and each output port sends one head per cycle, so no other
+			// normal reservation can race it at commit.
+			r.shard.resvOps = append(r.shard.resvOps, resvOp{dvc: dvc, pkt: pkt})
 			v.target = dvc
 			v.outPort = out
 			r.sendFlitFrom(v, out, dvc)
@@ -546,20 +571,23 @@ func (r *Router) tryGrant(v *VC) {
 }
 
 // sendFlitFrom dequeues v's front flit onto the output link toward dvc.
+// The downstream credit (dvc.inFlight) and the link activation both cross
+// shard boundaries, so they go through the outboxes.
 func (r *Router) sendFlitFrom(v *VC, out int, dvc *VC) {
 	f := v.dequeue()
 	l := r.outLink[out]
-	dvc.inFlight++
+	s := r.shard
+	s.inFlightOps = append(s.inFlightOps, dvc)
 	l.sendFlit(r.net.now, f, dvc)
-	r.net.markLinkActive(l.index)
+	s.linkMarks = append(s.linkMarks, int32(l.index))
 	if r.net.tele != nil {
-		r.net.tele.busyFlit++
+		s.busyFlit++
 	}
 	if r.net.measuring() {
 		l.flitCycles++
-		r.net.stats.BufferReads++
-		r.net.stats.XbarTraversals++
-		r.net.stats.LinkTraversals++
+		s.stats.BufferReads++
+		s.stats.XbarTraversals++
+		s.stats.LinkTraversals++
 	}
 }
 
@@ -567,8 +595,8 @@ func (r *Router) sendFlitFrom(v *VC, out int, dvc *VC) {
 func (r *Router) ejectFlit(v *VC) {
 	f := v.dequeue()
 	if r.net.measuring() {
-		r.net.stats.BufferReads++
-		r.net.stats.XbarTraversals++
+		r.shard.stats.BufferReads++
+		r.shard.stats.XbarTraversals++
 	}
-	r.net.ejected(f)
+	r.shard.ejected(f)
 }

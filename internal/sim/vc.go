@@ -34,6 +34,17 @@ type VC struct {
 	outPort  int // output port of the grant (-1 until granted)
 	frozen   bool
 	spinning bool // force-transmitting during a spin
+
+	// Commit-frozen snapshot of the state other shards may read during the
+	// parallel phases (downstream credit checks, congestion proxies). The
+	// snapshot refreshes at the end of every commit for VCs marked dirty;
+	// all cross-router reads in phase 2 go through it — on every shard
+	// count, so serial and sharded runs observe identical values.
+	snapFree   int   // FreeSlots at last commit
+	snapLen    int   // Len at last commit
+	snapResv   bool  // allocated (resvOwner != nil) at last commit
+	snapActive int64 // activeSince at last commit
+	snapDirty  bool  // queued on its shard's refresh list
 }
 
 // Router returns the router this VC belongs to.
@@ -80,6 +91,47 @@ func (v *VC) ActiveTime(now int64) int64 {
 	}
 	return now - v.activeSince
 }
+
+// refreshSnap freezes the cross-shard-visible state; called at commit for
+// dirty VCs and once at construction.
+func (v *VC) refreshSnap() {
+	v.snapFree = v.depth - len(v.buf) - v.inFlight
+	v.snapLen = len(v.buf)
+	v.snapResv = v.resvOwner != nil
+	v.snapActive = v.activeSince
+	v.snapDirty = false
+}
+
+// markDirty queues the VC for a snapshot refresh at the next commit. It is
+// called either from the VC's own shard during the parallel phases or from
+// the serial commit itself, so the owning shard's list is never written
+// concurrently.
+func (v *VC) markDirty() {
+	if v.snapDirty {
+		return
+	}
+	v.snapDirty = true
+	s := v.router.shard
+	s.dirtyVCs = append(s.dirtyVCs, v)
+}
+
+// canAcceptSnap is CanAccept evaluated against the commit snapshot.
+func (v *VC) canAcceptSnap(length int) bool {
+	return !v.snapResv && v.snapFree >= length
+}
+
+// activeTimeSnap is ActiveTime evaluated against the commit snapshot.
+func (v *VC) activeTimeSnap(now int64) int64 {
+	if !v.snapResv {
+		return 0
+	}
+	return now - v.snapActive
+}
+
+// SnapLen reports the buffered flit count as of the last commit — the
+// occupancy reading congestion-aware routing (UGAL) uses for next-hop
+// queues, stable across the parallel phases.
+func (v *VC) SnapLen() int { return v.snapLen }
 
 // Front returns the flit at the head of the FIFO.
 func (v *VC) Front() (Flit, bool) {
@@ -159,6 +211,7 @@ func (v *VC) enqueue(f Flit, now int64) {
 	}
 	v.router.flitCount++
 	v.buf = append(v.buf, f)
+	v.markDirty()
 }
 
 // dequeue removes the front flit, updating routing/reservation state when
@@ -177,6 +230,7 @@ func (v *VC) dequeue() Flit {
 			v.resvOwner = nil
 		}
 	}
+	v.markDirty()
 	return f
 }
 
@@ -193,7 +247,7 @@ func (v *VC) clearResidentState() {
 		v.router.spinningVCs--
 		n := v.router.net
 		if n.tele != nil && n.tele.probeOn() {
-			n.tele.emit(Event{Cycle: n.now, Kind: EvSpinEnd, Router: v.router.ID,
+			v.router.shard.emitEvent(Event{Cycle: n.now, Kind: EvSpinEnd, Router: v.router.ID,
 				Port: v.port, VC: v.index})
 		}
 	}
@@ -201,11 +255,20 @@ func (v *VC) clearResidentState() {
 
 // reserve allocates the VC to a packet whose head flit has just been sent
 // toward it. force is used by spins, which overwrite the reservation while
-// the previous resident drains.
+// the previous resident drains. It is the live path (same-shard targets:
+// NIC terminal VCs); cross-shard reservations are buffered as resvOps and
+// go through applyReserve at commit.
 func (v *VC) reserve(p *Packet, now int64, force bool) {
 	if !force && v.resvOwner != nil {
 		panic("sim: double VC reservation")
 	}
+	v.applyReserve(p, now)
+}
+
+// applyReserve installs the reservation without the double-booking check;
+// commit uses it directly after arbitrating force vs. normal ops.
+func (v *VC) applyReserve(p *Packet, now int64) {
 	v.resvOwner = p
 	v.activeSince = now
+	v.markDirty()
 }

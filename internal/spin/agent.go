@@ -92,6 +92,26 @@ type Agent struct {
 	// classTrue records, at probe-confirmation time, whether the oracle
 	// agreed a real deadlock existed (false-positive accounting).
 	classTrue bool
+
+	// tagSeq feeds the per-agent SM tag stream (tracing only). Tags are
+	// router-salted so they stay globally unique without any shared
+	// counter across agents.
+	tagSeq uint64
+
+	// view is the follower state snapshot other routers' agents read
+	// during the engine's parallel compute phase (see PublishView).
+	view agentView
+}
+
+// agentView is the cross-router-visible follower state, frozen at the end
+// of the engine's delivery phase. The chainClosed/peerFrozenVC walks read
+// peers through it, so every agent of a loop evaluates the same state no
+// matter which shard (or at which point of the phase) it runs on — the
+// all-or-none spin property.
+type agentView struct {
+	isDeadlock bool
+	srcID      int
+	frozen     []frozenEntry
 }
 
 func newAgent(s *Scheme, r *sim.Router) *Agent {
@@ -116,7 +136,25 @@ func (a *Agent) IsDeadlock() bool { return a.isDeadlock }
 // FrozenCount reports how many local VCs are currently frozen.
 func (a *Agent) FrozenCount() int { return len(a.frozen) }
 
-func (a *Agent) count(name string, d int64) { a.r.Net().Stats().Count(name, d) }
+func (a *Agent) count(name string, d int64) { a.r.Stats().Count(name, d) }
+
+// nextTag returns a globally unique SM tag from the agent's own stream.
+func (a *Agent) nextTag() uint64 {
+	a.tagSeq++
+	return a.tagSeq*uint64(a.r.Net().NumRouters()) + uint64(a.id)
+}
+
+// PublishView implements sim.ViewPublisher: copy the follower state peers
+// read into the immutable-through-phase-2 snapshot. Idle agents with an
+// already-empty view return without touching anything.
+func (a *Agent) PublishView() {
+	if !a.isDeadlock && !a.view.isDeadlock {
+		return
+	}
+	a.view.isDeadlock = a.isDeadlock
+	a.view.srcID = a.srcID
+	a.view.frozen = append(a.view.frozen[:0], a.frozen...)
+}
 
 // blockedDependency reports the link output port v's resident packet is
 // head-blocked on, if v represents a live deadlock dependency: non-empty,
@@ -259,7 +297,7 @@ func (a *Agent) tickDD(now int64) {
 	probe.VNet = uint8(v.VNet())
 	probe.FirstOut = uint8(out)
 	probe.HopCycles = int64(a.r.LinkLatency(out))
-	probe.Tag = a.s.nextTag()
+	probe.Tag = a.nextTag()
 	a.r.SendSM(out, probe)
 	a.count("probes_sent", 1)
 	if a.backoff < 3 {
@@ -301,7 +339,7 @@ func (a *Agent) startKill(now int64) {
 	kill.Kind = sim.SMKillMove
 	kill.Sender = a.id
 	kill.Path = append(kill.Path[:0], a.loopPath...)
-	kill.Tag = a.s.nextTag()
+	kill.Tag = a.nextTag()
 	a.r.SendSM(a.initOut, kill)
 }
 
@@ -322,7 +360,7 @@ func (a *Agent) afterSpin(now int64) {
 			pm.Path = append(pm.Path[:0], a.loopPath...)
 			pm.SpinCycle = a.spinCycle
 			pm.LoopLen = a.loopLen
-			pm.Tag = a.s.nextTag()
+			pm.Tag = a.nextTag()
 			a.r.SendSM(a.initOut, pm)
 			return
 		}
@@ -367,8 +405,10 @@ func (a *Agent) tickFollower(now int64) {
 // and will spin together. A broken chain (a kill_move that was dropped
 // mid-path by SM contention leaves a frozen suffix) must not spin: an
 // upstream router would push flits into a buffer nobody is draining.
-// Every agent of the loop evaluates this walk over the same cycle state,
-// so either the entire loop fires or none of it does.
+// The walk reads peers through their published views (state at the end of
+// the delivery phase), so every agent of the loop evaluates the same
+// snapshot and either the entire loop fires or none of it does —
+// regardless of shard count or tick order.
 func (a *Agent) chainClosed(e frozenEntry) bool {
 	cur, curEntry := a, e
 	for steps := 0; steps <= a.s.cfg.MaxPathLen; steps++ {
@@ -377,13 +417,13 @@ func (a *Agent) chainClosed(e frozenEntry) bool {
 			return false
 		}
 		peer, ok := d.Agent().(*Agent)
-		if !ok || !peer.isDeadlock || peer.srcID != a.srcID {
+		if !ok || !peer.view.isDeadlock || peer.view.srcID != a.srcID {
 			return false
 		}
 		var next *frozenEntry
-		for i := range peer.frozen {
-			if peer.frozen[i].vc.Port() == inPort {
-				next = &peer.frozen[i]
+		for i := range peer.view.frozen {
+			if peer.view.frozen[i].vc.Port() == inPort {
+				next = &peer.view.frozen[i]
 				break
 			}
 		}
@@ -449,7 +489,7 @@ func (a *Agent) triggerSpin(now int64) {
 	}
 	if a.srcID == a.id {
 		// One spin event per recovery round, counted at the initiator.
-		a.r.Net().Stats().Spins++
+		a.r.Stats().Spins++
 		a.count("spin_events", 1)
 		if a.s.cfg.CountTruth {
 			if a.classTrue {
@@ -463,7 +503,8 @@ func (a *Agent) triggerSpin(now int64) {
 
 // peerFrozenVC resolves the downstream frozen VC our spin flits will land
 // in: the VC the downstream agent froze at the input port our link feeds,
-// for the same recovery source.
+// for the same recovery source. Like chainClosed it reads the peer's
+// published view.
 func (a *Agent) peerFrozenVC(out int) *sim.VC {
 	d, inPort, ok := a.r.Downstream(out)
 	if !ok {
@@ -473,10 +514,10 @@ func (a *Agent) peerFrozenVC(out int) *sim.VC {
 	if !ok {
 		return nil
 	}
-	if !peer.isDeadlock || peer.srcID != a.srcID {
+	if !peer.view.isDeadlock || peer.view.srcID != a.srcID {
 		return nil
 	}
-	for _, e := range peer.frozen {
+	for _, e := range peer.view.frozen {
 		if e.vc.Port() == inPort {
 			return e.vc
 		}

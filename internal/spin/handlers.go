@@ -72,7 +72,7 @@ func (a *Agent) confirmDeadlock(sm *sim.SM, inPort int, now int64) {
 	mv.Path = append(mv.Path[:0], a.loopPath...)
 	mv.SpinCycle = a.spinCycle
 	mv.LoopLen = a.loopLen
-	mv.Tag = a.s.nextTag()
+	mv.Tag = a.nextTag()
 	a.r.SendSM(a.initOut, mv)
 }
 

@@ -78,7 +78,6 @@ type Scheme struct {
 	net    *sim.Network
 	agents []*Agent
 	epoch  int64
-	tagSeq uint64
 }
 
 // New builds a SPIN scheme with cfg (zero value = paper defaults).
@@ -88,6 +87,12 @@ func New(cfg Config) *Scheme {
 
 // Name implements sim.Scheme.
 func (s *Scheme) Name() string { return "spin" }
+
+// RequiresSerialStep implements sim.SerialOnly. The agents are shard-safe
+// (own-router state plus published peer views); only the oracle-backed
+// false-positive accounting (CountTruth) scans global live state and
+// forces the serial engine.
+func (s *Scheme) RequiresSerialStep() bool { return s.cfg.CountTruth }
 
 // Attach implements sim.Scheme.
 func (s *Scheme) Attach(n *sim.Network) {
@@ -117,7 +122,3 @@ func (s *Scheme) Priority(r int, now int64) int {
 	return int((int64(r) + now/s.epoch) % n)
 }
 
-func (s *Scheme) nextTag() uint64 {
-	s.tagSeq++
-	return s.tagSeq
-}

@@ -68,8 +68,14 @@ type Graph struct {
 	links     []Link
 	outLink   [][]int // [router][port] -> index into links, or -1
 	dist      [][]int16
-	minimal   [][][]int8 // [router][dst] -> minimal out ports
-	neighbors [][]int    // [router] -> outgoing link indices
+	// Minimal out ports are stored as one flat pool indexed by offsets:
+	// the ports for (r, dst) live in minPorts[minOff[r*routers+dst] :
+	// minOff[r*routers+dst+1]]. A per-pair [][]int8 costs one allocation
+	// per (router, dst) pair — ~16.7M slices at 4096 routers — while the
+	// flat form is two allocations regardless of scale.
+	minOff    []int32
+	minPorts  []int8
+	neighbors [][]int // [router] -> outgoing link indices
 }
 
 // NewGraph assembles a Graph. terminals[t] gives the router each terminal
@@ -167,24 +173,33 @@ func (g *Graph) computeDistances() {
 }
 
 func (g *Graph) computeMinimalPorts() {
-	g.minimal = make([][][]int8, g.routers)
+	g.minOff = make([]int32, g.routers*g.routers+1)
+	g.minPorts = g.minPorts[:0]
+	var scratch []int8
 	for r := 0; r < g.routers; r++ {
-		g.minimal[r] = make([][]int8, g.routers)
 		for dst := 0; dst < g.routers; dst++ {
+			g.minOff[r*g.routers+dst] = int32(len(g.minPorts))
 			if r == dst || g.dist[r][dst] < 0 {
 				continue
 			}
-			var ports []int8
+			scratch = scratch[:0]
 			for _, li := range g.neighbors[r] {
 				l := g.links[li]
 				if g.dist[l.Dst][dst] >= 0 && g.dist[l.Dst][dst] == g.dist[r][dst]-1 {
-					ports = append(ports, int8(l.SrcPort))
+					scratch = append(scratch, int8(l.SrcPort))
 				}
 			}
-			sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
-			g.minimal[r][dst] = ports
+			sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+			g.minPorts = append(g.minPorts, scratch...)
 		}
 	}
+	g.minOff[g.routers*g.routers] = int32(len(g.minPorts))
+}
+
+// minimalAt returns the pooled minimal-port slice for (r, dst).
+func (g *Graph) minimalAt(r, dst int) []int8 {
+	i := r*g.routers + dst
+	return g.minPorts[g.minOff[i]:g.minOff[i+1]]
 }
 
 // Name implements Topology.
@@ -228,7 +243,7 @@ func (g *Graph) Distance(a, b int) int { return int(g.dist[a][b]) }
 
 // MinimalPorts implements Topology.
 func (g *Graph) MinimalPorts(r, dst int) []int {
-	ports := g.minimal[r][dst]
+	ports := g.minimalAt(r, dst)
 	out := make([]int, len(ports))
 	for i, p := range ports {
 		out[i] = int(p)
@@ -239,7 +254,7 @@ func (g *Graph) MinimalPorts(r, dst int) []int {
 // MinimalPortsInto appends the minimal output ports of r toward dst to buf
 // and returns it, avoiding allocation on hot paths.
 func (g *Graph) MinimalPortsInto(buf []int, r, dst int) []int {
-	for _, p := range g.minimal[r][dst] {
+	for _, p := range g.minimalAt(r, dst) {
 		buf = append(buf, int(p))
 	}
 	return buf

@@ -223,12 +223,26 @@ type Synthetic struct {
 	DataFrac float64 // fraction of packets that are long (default 0.5)
 	VNets    int     // spread packets round-robin over vnets (default 1)
 
-	vnetNext int
+	// next rotates the vnet per terminal (not globally), so each
+	// terminal's emission sequence is independent of the others' — the
+	// property the sharded engine's determinism contract rests on.
+	next []int32
 }
 
 // Name implements sim.TrafficGen.
 func (s *Synthetic) Name() string {
 	return fmt.Sprintf("%s@%.3f", s.Pattern.Name(), s.Rate)
+}
+
+// RequiresSerialStep implements sim.SerialOnly: generation is safe under
+// the sharded engine (all state is per-terminal).
+func (s *Synthetic) RequiresSerialStep() bool { return false }
+
+// PrepareTerminals implements sim.TrafficPrep.
+func (s *Synthetic) PrepareTerminals(n int) {
+	if len(s.next) < n {
+		s.next = make([]int32, n)
+	}
 }
 
 // Generate implements sim.TrafficGen.
@@ -252,8 +266,11 @@ func (s *Synthetic) Generate(_ int64, src int, rng *rand.Rand, emit func(sim.Pac
 	}
 	vnet := 0
 	if s.VNets > 1 {
-		vnet = s.vnetNext % s.VNets
-		s.vnetNext++
+		if src >= len(s.next) {
+			s.PrepareTerminals(src + 1)
+		}
+		vnet = int(s.next[src]) % s.VNets
+		s.next[src]++
 	}
 	dst := s.Pattern.Dest(src, rng)
 	if dst == src {

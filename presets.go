@@ -73,6 +73,20 @@ func Presets() []Preset {
 			Theory: "SPIN", Type: "Recovery", Adaptive: "Full", Minimal: "Yes",
 			Config: Config{Topology: "mesh:8x8", Routing: "favors_min", Scheme: "spin", VNets: 3, VCsPerVNet: 1},
 		},
+		// Paper-scale presets, sized for the sharded engine (-shards):
+		// the canonical 1024-node dragonfly of Table III under the paper's
+		// headline configuration, and a 64x64 mesh for full-mesh-class
+		// studies. Serial runs work too, just slowly.
+		{
+			Name: "dfly1024", Description: "1024-node dragonfly (p=4, a=8, h=4, g=32), UGAL with free VC use under SPIN",
+			Theory: "SPIN", Type: "Recovery", Adaptive: "Full", Minimal: "No",
+			Config: Config{Topology: "dragonfly1024", Routing: "ugal_spin", Scheme: "spin", VNets: 3, VCsPerVNet: 1},
+		},
+		{
+			Name: "mesh64x64", Description: "64x64 mesh (4096 nodes), FAvORS minimal, 1 VC, SPIN",
+			Theory: "SPIN", Type: "Recovery", Adaptive: "Full", Minimal: "Yes",
+			Config: Config{Topology: "mesh:64x64", Routing: "favors_min", Scheme: "spin", VNets: 3, VCsPerVNet: 1},
+		},
 	}
 }
 

@@ -79,11 +79,11 @@ func TestAllPresetsBuildAndRun(t *testing.T) {
 		cfg.Rate = 0.05
 		cfg.Seed = 3
 		cfg.TDD = 64
-		// Shrink the dragonfly presets for test speed.
+		// Shrink the paper-scale presets for test speed.
 		if cfg.Topology == "dragonfly1024" {
 			cfg.Topology = "dragonfly:2,4,2,9"
 		}
-		if cfg.Topology == "mesh:8x8" {
+		if cfg.Topology == "mesh:8x8" || cfg.Topology == "mesh:64x64" {
 			cfg.Topology = "mesh:4x4"
 		}
 		s, err := spin.New(cfg)
