@@ -1,0 +1,105 @@
+// Command spinmc is the explicit-state model checker for the SPIN
+// protocol: it exhausts (or bounds) the state space of a small
+// abstracted instance, checks the safety invariants and the
+// reach-delivery liveness property on every state, and prints the
+// state-space census. Property violations are written as harness
+// scenario artifacts replayable through the simulator:
+//
+//	spinmc -topo mesh2x2                  # exhaust, print census
+//	spinmc -topo ring5 -bound 24 -json    # bounded, census as JSON
+//	spinmc -topo ring5 -mutate no_probe -out /tmp/cex
+//	spinmc -replay /tmp/cex/scenario-<key>.json
+//
+// Exit status 1 means a property violation (or a failed replay).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/mc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spinmc: ")
+	var (
+		topo      = flag.String("topo", "mesh2x2", "instance: mesh2x2, mesh3x3, or ring5")
+		packets   = flag.Int("packets", 0, "truncate the instance workload to its first N packets (0 = all)")
+		bound     = flag.Int("bound", 0, "BFS depth bound in levels (0 = exhaust)")
+		workers   = flag.Int("workers", 0, "parallel expansion workers (0 = GOMAXPROCS)")
+		maxStates = flag.Int("maxstates", 0, "stop expanding once the store exceeds N states (0 = unlimited)")
+		mutate    = flag.String("mutate", "none", "inject a protocol defect: none, no_probe, or spin_unchecked")
+		out       = flag.String("out", "", "directory for counterexample scenario artifacts")
+		jsonOut   = flag.Bool("json", false, "print the full result as JSON instead of a summary")
+		replay    = flag.String("replay", "", "replay a counterexample artifact through the simulator instead of checking")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *replay != "" {
+		if err := replayArtifact(*replay); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	mut, err := mc.MutationByName(*mutate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := mc.NewInstance(*topo, *packets, mut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mc.Check(ctx, in, mc.Options{Workers: *workers, Bound: *bound, MaxStates: *maxStates})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		c := res.Census
+		fmt.Printf("%s (%d packets, mutation %s): %d states, %d edges, diameter %d",
+			c.Instance, c.Packets, c.Mutation, c.States, c.Edges, c.Diameter)
+		if c.Truncated {
+			fmt.Printf(" (truncated at bound %d)", c.Bound)
+		}
+		fmt.Printf("\n  deadlocked states: %d, max recovery distance: %d\n", c.Deadlocked, c.MaxRecoveryDistance)
+	}
+	if !res.Failed() {
+		fmt.Println("  no property violations")
+		return
+	}
+	fmt.Printf("  %d property violations (%d reported)\n", res.TotalViolations, len(res.Violations))
+	for i, v := range res.Violations {
+		if i >= 4 && !*jsonOut {
+			fmt.Printf("  ... %d more\n", len(res.Violations)-i)
+			break
+		}
+		fmt.Printf("  [%s] %s (trace: %d steps)\n", v.Kind, v.Message, len(v.Trace))
+	}
+	if *out != "" {
+		paths, err := writeArtifacts(in, res, *out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range paths {
+			fmt.Printf("  counterexample: %s\n", p)
+		}
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/harness"
+	"repro/internal/mc"
+)
+
+// replayArtifact reruns a counterexample artifact through the simulator
+// with the invariant checker attached — the differential-oracle loop
+// closed from the command line.
+func replayArtifact(path string) error {
+	art, err := harness.LoadArtifact(path)
+	if err != nil {
+		return err
+	}
+	if err := art.Scenario.Validate(); err != nil {
+		return err
+	}
+	res, err := mc.Replay(art.Scenario)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay %s: %s\n", art.Scenario, res.Summary())
+	if res.Failed() {
+		return fmt.Errorf("replay reproduced the failure")
+	}
+	return nil
+}
+
+// writeArtifacts converts each replayable violation into a harness
+// scenario artifact under dir, deduplicating identical scenarios (many
+// violations share one injection prefix).
+func writeArtifacts(in *mc.Instance, res *mc.Result, dir string) ([]string, error) {
+	var paths []string
+	seen := map[string]bool{}
+	for _, v := range res.Violations {
+		sc, err := in.TraceScenario(v)
+		if err != nil {
+			log.Printf("skip %s violation: %v", v.Kind, err)
+			continue
+		}
+		key := sc.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		art := harness.Artifact{
+			Scenario: sc,
+			Notes: []string{
+				fmt.Sprintf("model counterexample: [%s] %s", v.Kind, v.Message),
+				fmt.Sprintf("model trace (%d steps): %v", len(v.Trace), v.Trace),
+				"replay: spinmc -replay <this file>",
+			},
+		}
+		p, err := harness.WriteArtifact(dir, art)
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

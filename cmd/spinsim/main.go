@@ -49,6 +49,19 @@ import (
 	"repro/internal/traffic"
 )
 
+// serialFlagsErr rejects flag combinations that need the serial engine:
+// -record and -replay capture (or impose) the global injection order,
+// which only exists when one shard steps the whole network. The engine
+// would clamp Shards to 1 anyway (traffic.Replay and traffic.Recorder
+// are SerialOnly); rejecting the flags keeps the surprise out of a run
+// the user asked to be parallel.
+func serialFlagsErr(record, replay string, shards int) error {
+	if (record != "" || replay != "") && shards > 1 {
+		return fmt.Errorf("-record/-replay capture the global injection order and need the serial engine; drop -shards")
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spinsim: ")
@@ -150,8 +163,8 @@ func main() {
 		runReplicates(ctx, cfg, *cycles, *seeds, *workers, *timeout, *progress, *check)
 		return
 	}
-	if (*record != "" || *replay != "") && *shards > 1 {
-		log.Fatal("-record/-replay capture the global injection order and need the serial engine; drop -shards")
+	if err := serialFlagsErr(*record, *replay, *shards); err != nil {
+		log.Fatal(err)
 	}
 	if *replay != "" {
 		cfg.Traffic = "" // the trace drives injection

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+// TestSerialFlagsErr pins the -record/-replay vs -shards rejection:
+// trace capture and replay depend on the global injection order, which
+// only the serial engine has.
+func TestSerialFlagsErr(t *testing.T) {
+	cases := []struct {
+		name           string
+		record, replay string
+		shards         int
+		wantErr        bool
+	}{
+		{"no trace flags, serial", "", "", 1, false},
+		{"no trace flags, sharded", "", "", 8, false},
+		{"record, serial", "t.json", "", 1, false},
+		{"replay, serial", "", "t.json", 1, false},
+		{"record, sharded", "t.json", "", 2, true},
+		{"replay, sharded", "", "t.json", 4, true},
+		{"record and replay, sharded", "a.json", "b.json", 2, true},
+		{"shards zero counts as serial", "t.json", "", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := serialFlagsErr(tc.record, tc.replay, tc.shards)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("serialFlagsErr(%q, %q, %d) = %v, wantErr %v",
+					tc.record, tc.replay, tc.shards, err, tc.wantErr)
+			}
+		})
+	}
+}

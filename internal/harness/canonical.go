@@ -39,10 +39,14 @@ func (sc Scenario) Validate() error {
 	switch {
 	case sc.Topology == "":
 		return fmt.Errorf("harness: scenario needs a topology")
-	case sc.Traffic == "":
-		return fmt.Errorf("harness: scenario needs a traffic pattern")
-	case sc.Rate <= 0:
+	case sc.Traffic == "" && len(sc.Injections) == 0:
+		return fmt.Errorf("harness: scenario needs a traffic pattern or injections")
+	case sc.Traffic != "" && len(sc.Injections) > 0:
+		return fmt.Errorf("harness: traffic %q and explicit injections are mutually exclusive", sc.Traffic)
+	case sc.Traffic != "" && sc.Rate <= 0:
 		return fmt.Errorf("harness: rate must be > 0, got %g", sc.Rate)
+	case sc.Traffic == "" && sc.Rate != 0:
+		return fmt.Errorf("harness: rate %g is meaningless with explicit injections", sc.Rate)
 	case sc.Cycles <= 0:
 		return fmt.Errorf("harness: cycles must be > 0, got %d", sc.Cycles)
 	case sc.DataFrac < 0 || sc.DataFrac > 1:
@@ -57,6 +61,25 @@ func (sc Scenario) Validate() error {
 		return fmt.Errorf("harness: warmup %d leaves no measurement window in %d cycles", sc.Warmup, sc.Cycles)
 	case sc.DrainCycles < 0:
 		return fmt.Errorf("harness: drain_cycles must be >= 0, got %d", sc.DrainCycles)
+	}
+	switch sc.Mutation {
+	case "", "none", "no_probe":
+	default:
+		return fmt.Errorf("harness: unknown mutation %q (want none or no_probe)", sc.Mutation)
+	}
+	for i, inj := range sc.Injections {
+		switch {
+		case inj.Cycle < 0:
+			return fmt.Errorf("harness: injection %d: negative cycle", i)
+		case inj.Src < 0 || inj.Dst < 0:
+			return fmt.Errorf("harness: injection %d: negative terminal", i)
+		case inj.Src == inj.Dst:
+			return fmt.Errorf("harness: injection %d: self-destined at %d", i, inj.Src)
+		case inj.Length <= 0:
+			return fmt.Errorf("harness: injection %d: length must be > 0, got %d", i, inj.Length)
+		case inj.VNet < 0:
+			return fmt.Errorf("harness: injection %d: negative vnet", i)
+		}
 	}
 	return nil
 }
@@ -83,8 +106,15 @@ func (sc Scenario) Normalized() Scenario {
 	if sc.VCDepth == 0 {
 		sc.VCDepth = 5
 	}
-	if sc.DataFrac == 0 {
+	if sc.Traffic == "" {
+		// Explicit injections: no synthetic generator exists, so its
+		// knobs are cleared instead of defaulted.
+		sc.Rate, sc.DataFrac = 0, 0
+	} else if sc.DataFrac == 0 {
 		sc.DataFrac = 0.5 // traffic.Synthetic's default long-packet mix
+	}
+	if sc.Mutation == "none" {
+		sc.Mutation = "" // the faithful protocol, spelled out
 	}
 	switch sc.Scheme {
 	case "spin", "static_bubble":

@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -29,7 +30,7 @@ func TestCanonicalRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dec != sc.Normalized() {
+	if !CanonicalEqual(dec, sc) || fmt.Sprintf("%+v", dec) != fmt.Sprintf("%+v", sc.Normalized()) {
 		t.Fatalf("round trip changed the scenario:\n  in  %+v\n  out %+v", sc.Normalized(), dec)
 	}
 	if !bytes.Equal(dec.Canonical(), can) {

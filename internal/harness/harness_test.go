@@ -36,7 +36,7 @@ func TestGenerateIsDeterministic(t *testing.T) {
 	for seed := int64(0); seed < 50; seed++ {
 		a := Generate(rand.New(rand.NewSource(seed)))
 		b := Generate(rand.New(rand.NewSource(seed)))
-		if a != b {
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
 			t.Fatalf("seed %d: %+v != %+v", seed, a, b)
 		}
 	}
@@ -53,7 +53,7 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(b, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != sc {
+	if fmt.Sprintf("%+v", back) != fmt.Sprintf("%+v", sc) {
 		t.Fatalf("round trip changed the scenario: %+v -> %+v", sc, back)
 	}
 }
@@ -208,7 +208,7 @@ func TestArtifactReplayReproduces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if art.Scenario != res.Scenario {
+	if fmt.Sprintf("%+v", art.Scenario) != fmt.Sprintf("%+v", res.Scenario) {
 		t.Fatalf("artifact scenario drifted: %+v != %+v", art.Scenario, res.Scenario)
 	}
 	if art.Repro == "" {

@@ -17,6 +17,8 @@ import (
 	"hash/fnv"
 
 	spin "repro"
+	spinimpl "repro/internal/spin"
+	"repro/internal/traffic"
 )
 
 // Scenario is a compact, serializable simulator configuration — the unit
@@ -50,11 +52,36 @@ type Scenario struct {
 	// audits raw counters and ignores it; it exists for serving paths
 	// (cmd/spind) where measurement windows matter.
 	Warmup int64 `json:"warmup,omitempty"`
+
+	// Injections, when non-empty, replaces the synthetic generator with
+	// an exact packet-by-packet workload (traffic.Replay). Traffic must
+	// be empty and Rate zero; the model checker's counterexample replays
+	// (internal/mc, cmd/spinmc) are built on this.
+	Injections []Injection `json:"injections,omitempty"`
+	// Mutation injects a deliberate protocol defect for counterexample
+	// replay: "" (or "none") is the faithful protocol, "no_probe"
+	// disables SPIN's detection/probe phase (spin.Config.SPIN.
+	// DisableProbe), turning every true deadlock into a drain failure.
+	Mutation string `json:"mutation,omitempty"`
+}
+
+// Injection is one exact packet injection of a replayed workload.
+type Injection struct {
+	Cycle  int64 `json:"cycle"`
+	Src    int   `json:"src"`
+	Dst    int   `json:"dst"`
+	Length int   `json:"length"`
+	VNet   int   `json:"vnet"`
 }
 
 // Config translates the scenario into a top-level simulation config.
 func (sc Scenario) Config() spin.Config {
+	var impl spinimpl.Config
+	if sc.Mutation == "no_probe" {
+		impl.DisableProbe = true
+	}
 	return spin.Config{
+		SPIN:       impl,
 		Topology:   sc.Topology,
 		Routing:    sc.Routing,
 		Scheme:     sc.Scheme,
@@ -91,8 +118,29 @@ func FromConfig(cfg spin.Config, cycles int64) Scenario {
 	}
 }
 
-// Sim builds the runnable simulation for the scenario.
-func (sc Scenario) Sim() (*spin.Simulation, error) { return spin.New(sc.Config()) }
+// Sim builds the runnable simulation for the scenario, attaching the
+// exact-injection workload when the scenario carries one.
+func (sc Scenario) Sim() (*spin.Simulation, error) {
+	s, err := spin.New(sc.Config())
+	if err != nil {
+		return nil, err
+	}
+	if len(sc.Injections) > 0 {
+		tr := &traffic.Trace{Entries: make([]traffic.TraceEntry, len(sc.Injections))}
+		for i, inj := range sc.Injections {
+			tr.Entries[i] = traffic.TraceEntry{Cycle: inj.Cycle, Src: inj.Src, Dst: inj.Dst, Length: inj.Length, VNet: inj.VNet}
+		}
+		depth := sc.VCDepth
+		if depth == 0 {
+			depth = 5
+		}
+		if err := tr.Validate(s.Topology().NumTerminals(), max(1, sc.VNets), depth); err != nil {
+			return nil, err
+		}
+		s.Network().SetTraffic(&traffic.Replay{Trace: tr})
+	}
+	return s, nil
+}
 
 // drainBudget is the post-traffic drain bound. The default is generous
 // on purpose: a deeply oversaturated 1-VC configuration holds O(rate x

@@ -1,0 +1,363 @@
+package mc
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite the census golden from this run")
+
+// censusRuns are the committed state-space censuses: mesh instances
+// exhaust, ring5 is depth-bounded (its full space runs to millions of
+// states; the bound keeps the golden fast while still covering the full
+// deadlock-detect-recover-deliver arc, diameter 24 > the 20 steps a
+// complete recovery needs).
+var censusRuns = []struct {
+	instance string
+	bound    int
+}{
+	{"mesh2x2", 0},
+	{"mesh3x3", 0},
+	{"ring5", 24},
+}
+
+func checkInstance(t *testing.T, name string, bound, workers int, mut Mutation) *Result {
+	t.Helper()
+	in, err := NewInstance(name, 0, mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(context.Background(), in, Options{Workers: workers, Bound: bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCensusGoldens pins the state-space census of every registry
+// instance: any change to the model's semantics shows up as a
+// states/edges/diameter drift against testdata/census.json. Regenerate
+// with go test ./internal/mc -run TestCensusGoldens -update. The run
+// also asserts the tentpole acceptance property: zero violations on the
+// faithful protocol.
+func TestCensusGoldens(t *testing.T) {
+	var got []Census
+	for _, run := range censusRuns {
+		res := checkInstance(t, run.instance, run.bound, 4, MutNone)
+		if res.Failed() {
+			t.Errorf("%s: %d property violations on the faithful protocol; first: %+v",
+				run.instance, res.TotalViolations, res.Violations[0])
+		}
+		got = append(got, res.Census)
+	}
+	path := filepath.Join("testdata", "census.json")
+	gotJSON, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON = append(gotJSON, '\n')
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, gotJSON, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
+	}
+	if string(want) != string(gotJSON) {
+		t.Errorf("census drifted from golden:\n--- want\n%s\n--- got\n%s", want, gotJSON)
+	}
+}
+
+// TestCensusDeterministicAcrossWorkers is the parallel-search contract:
+// every census field is schedule-independent, so 1 worker and 8 workers
+// must produce identical summaries.
+func TestCensusDeterministicAcrossWorkers(t *testing.T) {
+	for _, run := range []struct {
+		instance string
+		bound    int
+	}{{"mesh3x3", 0}, {"ring5", 18}} {
+		base := checkInstance(t, run.instance, run.bound, 1, MutNone).Census
+		for _, workers := range []int{4, 8} {
+			got := checkInstance(t, run.instance, run.bound, workers, MutNone).Census
+			if got != base {
+				t.Errorf("%s: census differs at %d workers:\n  1: %+v\n  %d: %+v",
+					run.instance, workers, base, workers, got)
+			}
+		}
+	}
+}
+
+// TestRing5DeadlockIsReachableAndRecovered: the bounded ring5 space
+// must actually contain oracle-visible deadlocks (the instance exists to
+// exercise recovery), and the liveness pass must prove they all recover.
+func TestRing5DeadlockIsReachableAndRecovered(t *testing.T) {
+	res := checkInstance(t, "ring5", 20, 4, MutNone)
+	if res.Census.Deadlocked == 0 {
+		t.Fatal("ring5 reached no deadlocked states; the instance no longer exercises recovery")
+	}
+	if res.Census.MaxRecoveryDistance == 0 {
+		t.Error("deadlocked states exist but max recovery distance is 0")
+	}
+	if res.Failed() {
+		t.Errorf("faithful ring5 has violations: %+v", res.Violations[0])
+	}
+}
+
+// TestNoProbeMutationFindsLivenessViolation: with detection disabled the
+// ring deadlock is a dead state, and the checker must say so.
+func TestNoProbeMutationFindsLivenessViolation(t *testing.T) {
+	res := checkInstance(t, "ring5", 14, 4, MutNoProbe)
+	if !res.Failed() {
+		t.Fatal("no_probe mutation produced no violation")
+	}
+	v := res.Violations[0]
+	if v.Kind != "liveness" {
+		t.Fatalf("want a liveness violation, got %+v", v)
+	}
+	if len(v.Trace) == 0 {
+		t.Fatal("violation carries no counterexample trace")
+	}
+}
+
+// TestSpinUncheckedMutationFindsSafetyViolation: skipping the
+// chain-closure check before a spin must surface as a duplicate-
+// occupancy invariant violation.
+func TestSpinUncheckedMutationFindsSafetyViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explores ~200k states; skipped in -short")
+	}
+	res := checkInstance(t, "ring5", 26, 8, MutSpinUnchecked)
+	if !res.Failed() {
+		t.Fatal("spin_unchecked mutation produced no violation")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Kind == "invariant" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("want an invariant violation, got only %+v", res.Violations[0])
+	}
+}
+
+// TestCounterexampleReplaysThroughSimulator is the differential oracle
+// (the tentpole acceptance test): the no_probe counterexample's workload
+// must fail the checked simulator run with the same defect injected, and
+// the identical workload without the mutation must pass. Model and
+// simulator agree the mutation — not the workload — is the bug.
+func TestCounterexampleReplaysThroughSimulator(t *testing.T) {
+	res := checkInstance(t, "ring5", 14, 4, MutNoProbe)
+	if !res.Failed() {
+		t.Fatal("no counterexample to replay")
+	}
+	in, err := NewInstance("ring5", 0, MutNoProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := in.TraceScenario(res.Violations[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Injections) != len(in.Packets) {
+		t.Fatalf("counterexample injects %d of %d packets", len(sc.Injections), len(in.Packets))
+	}
+
+	mutated, err := Replay(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mutated.Failed() {
+		t.Fatalf("simulator replay with no_probe did not reproduce the violation: %s", mutated.Summary())
+	}
+	if mutated.Drained {
+		t.Error("mutated replay drained; the deadlock should persist with detection off")
+	}
+
+	healthy := sc
+	healthy.Mutation = ""
+	clean, err := Replay(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Failed() {
+		t.Fatalf("faithful replay of the same workload failed: %s", clean.Summary())
+	}
+	if clean.Spins == 0 {
+		t.Error("faithful replay recovered without a spin; the workload no longer deadlocks")
+	}
+}
+
+// TestTraceScenarioRejectsModelOnlyMutation: spin_unchecked lives in the
+// model's spin abstraction and must refuse to fabricate a simulator
+// replay.
+func TestTraceScenarioRejectsModelOnlyMutation(t *testing.T) {
+	in, err := NewInstance("ring5", 0, MutSpinUnchecked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.TraceScenario(Violation{Trace: []string{"inject p0"}}); err == nil {
+		t.Fatal("TraceScenario accepted a model-only mutation")
+	}
+}
+
+// TestEncodeDecodeRoundTrip walks the reachable space and checks the
+// canonical-encoding contract on real states: Encode → Decode → Encode
+// is the identity, and the visited-set key (the full encoding) separates
+// states regardless of hash collisions.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, name := range []string{"mesh2x2", "mesh3x3", "ring5"} {
+		in, err := NewInstance(name, 0, MutNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		frontier := []*State{in.InitialState()}
+		for depth := 0; depth < 12 && len(frontier) > 0; depth++ {
+			var next []*State
+			for _, s := range frontier {
+				enc := in.Encode(s)
+				if seen[string(enc)] {
+					continue
+				}
+				seen[string(enc)] = true
+				dec, err := in.Decode(enc)
+				if err != nil {
+					t.Fatalf("%s: decode of own encoding failed: %v", name, err)
+				}
+				if re := in.Encode(dec); string(re) != string(enc) {
+					t.Fatalf("%s: encode∘decode not the identity:\n  %x\n  %x", name, enc, re)
+				}
+				if len(next) < 4096 {
+					for _, sc := range in.Successors(s) {
+						next = append(next, sc.State)
+					}
+				}
+			}
+			frontier = next
+		}
+		if len(seen) < 10 {
+			t.Fatalf("%s: walk covered only %d states", name, len(seen))
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption flips every byte of a valid encoding and
+// requires each mutant to either fail decoding or re-encode exactly to
+// itself — no byte string may alias a different state's encoding.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	in, err := NewInstance("ring5", 0, MutNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := in.InitialState()
+	for i := 0; i < 9; i++ { // drive a few hops in for a non-trivial state
+		succs := in.Successors(s)
+		if len(succs) == 0 {
+			break
+		}
+		s = succs[i%len(succs)].State
+	}
+	enc := in.Encode(s)
+	for i := range enc {
+		for delta := byte(1); delta < 4; delta++ {
+			mut := append([]byte(nil), enc...)
+			mut[i] += delta
+			dec, err := in.Decode(mut)
+			if err != nil {
+				continue
+			}
+			if re := in.Encode(dec); string(re) != string(mut) {
+				t.Fatalf("byte %d+%d: decode accepted a non-canonical encoding:\n  in  %x\n  out %x", i, delta, mut, re)
+			}
+		}
+	}
+}
+
+// TestInstanceRegistry covers the registry's error paths.
+func TestInstanceRegistry(t *testing.T) {
+	if _, err := NewInstance("hypercube", 0, MutNone); err == nil {
+		t.Error("unknown instance accepted")
+	}
+	if _, err := NewInstance("mesh2x2", 99, MutNone); err == nil {
+		t.Error("oversized packet truncation accepted")
+	}
+	in, err := NewInstance("ring5", 2, MutNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Packets) != 2 {
+		t.Errorf("truncation kept %d packets, want 2", len(in.Packets))
+	}
+	if _, err := MutationByName("chaos_monkey"); err == nil {
+		t.Error("unknown mutation name accepted")
+	}
+}
+
+// TestVisitedSetKeysOnEncoding: two states whose hashes collide into the
+// same shard must still be distinct entries — membership is the full
+// encoding, the hash only picks a shard.
+func TestVisitedSetKeysOnEncoding(t *testing.T) {
+	st := newStore()
+	a := []byte{1, 2, 3}
+	b := []byte{1, 2, 3, 0} // different encoding, whatever its hash
+	idA, fresh := st.lookupOrInsert(a, -1, "", 0, 0)
+	if !fresh {
+		t.Fatal("first insert not fresh")
+	}
+	if id2, fresh := st.lookupOrInsert(a, -1, "", 0, 0); fresh || id2 != idA {
+		t.Fatal("duplicate encoding created a second state")
+	}
+	if idB, fresh := st.lookupOrInsert(b, -1, "", 0, 0); !fresh || idB == idA {
+		t.Fatal("distinct encoding collapsed into an existing state")
+	}
+}
+
+// TestReplayScenarioValidates: the generated scenario must pass the
+// harness's own validation (it travels through artifact files and
+// spind).
+func TestReplayScenarioValidates(t *testing.T) {
+	in, err := NewInstance("ring5", 0, MutNoProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := make([]string, 0, 10)
+	for i := 0; i < 5; i++ {
+		trace = append(trace, fmt.Sprintf("inject p%d", i), fmt.Sprintf("advance p%d to r%d", i, (i+1)%5))
+	}
+	sc, err := in.TraceScenario(Violation{Kind: "liveness", Trace: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	norm := sc.Normalized()
+	if norm.Rate != 0 || norm.DataFrac != 0 {
+		t.Errorf("normalization left synthetic-generator knobs set: %+v", norm)
+	}
+	var decoded harness.Scenario
+	b, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Injections) != 5 || decoded.Mutation != "no_probe" {
+		t.Errorf("injection scenario did not survive JSON: %+v", decoded)
+	}
+}

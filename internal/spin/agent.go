@@ -209,6 +209,9 @@ func (a *Agent) Tick() {
 	a.tickFollower(now)
 	switch a.role {
 	case RoleOff:
+		if a.s.cfg.DisableProbe {
+			break // detection disabled: the initiator FSM stays off
+		}
 		if p, k, ok := a.scanWatch(0, -1); ok {
 			a.pointAt(p, k, now)
 			a.role = RoleDD

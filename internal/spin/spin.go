@@ -57,6 +57,13 @@ type Config struct {
 	// confirmed recovery is checked against the global deadlock oracle.
 	// Costs oracle runs per recovery; used by the Fig. 9 experiment.
 	CountTruth bool
+	// DisableProbe turns off the detection/probe phase entirely: agents
+	// never arm the deadlock-detection counter, so no probes, moves, or
+	// spins ever happen and a true cyclic deadlock persists forever. It
+	// exists for the model checker (internal/mc): its no_probe mutation
+	// maps to this knob, so a model counterexample can be replayed
+	// through the simulator with the identical defect injected.
+	DisableProbe bool
 }
 
 func (c Config) withDefaults() Config {
@@ -121,4 +128,3 @@ func (s *Scheme) Priority(r int, now int64) int {
 	n := int64(s.net.NumRouters())
 	return int((int64(r) + now/s.epoch) % n)
 }
-
