@@ -15,6 +15,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -70,6 +71,7 @@ type Stats struct {
 	Misses     int64 // Do calls that led a computation
 	Shared     int64 // Do calls that piggybacked on an in-flight one
 	Errors     int64 // led computations that failed (never cached)
+	Corrupt    int64 // on-disk entries evicted for failing validation
 	MemEntries int   // current in-memory LRU population
 }
 
@@ -137,6 +139,17 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	v, err := os.ReadFile(s.path(key))
 	if err != nil {
+		return nil, false
+	}
+	// Every stored value is a complete JSON response; anything else on
+	// disk — a torn write from a crashed kernel, filesystem corruption, a
+	// stray hand-edited file — must read as a miss, not get served. The
+	// bad entry is evicted so the recompute's Put can land a clean one.
+	if !json.Valid(v) {
+		os.Remove(s.path(key))
+		s.mu.Lock()
+		s.stats.Corrupt++
+		s.mu.Unlock()
 		return nil, false
 	}
 	s.mu.Lock()

@@ -67,10 +67,12 @@ func TestDiskTier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Put("aa11", []byte("first"))
-	s.Put("bb22", []byte("second")) // evicts aa11 from memory, not disk
+	// Values are JSON on the wire and on disk: the disk-read path
+	// validates entries and would evict anything else as corrupt.
+	s.Put("aa11", []byte(`"first"`))
+	s.Put("bb22", []byte(`"second"`)) // evicts aa11 from memory, not disk
 	v, ok := s.Get("aa11")
-	if !ok || string(v) != "first" {
+	if !ok || string(v) != `"first"` {
 		t.Fatalf("disk get = %q, %v", v, ok)
 	}
 	if st := s.Snapshot(); st.DiskHits != 1 {
@@ -81,7 +83,7 @@ func TestDiskTier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := s2.Get("bb22"); !ok || string(v) != "second" {
+	if v, ok := s2.Get("bb22"); !ok || string(v) != `"second"` {
 		t.Fatalf("fresh store over same dir: get = %q, %v", v, ok)
 	}
 	// No stray temp files survive.

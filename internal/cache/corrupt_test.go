@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCorruptDiskEntryIsMissAndEvicted writes garbage over on-disk
+// entries and checks the contract from the serving layer's point of
+// view: a corrupt or truncated entry strict-decode-fails into a cache
+// miss — never an error — and is evicted so the recompute can land a
+// clean replacement.
+func TestCorruptDiskEntryIsMissAndEvicted(t *testing.T) {
+	for name, garbage := range map[string][]byte{
+		"truncated json": []byte(`{"stats":{"injected":120,"ejec`),
+		"empty file":     {},
+		"binary":         {0x00, 0xff, 0x13, 0x37, 0x00},
+		"trailing junk":  []byte(`{"ok":true}#corrupted`),
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := KeyOf("v", []byte(name))
+			if err := s.Put(key, []byte(`{"ok":true}`)); err != nil {
+				t.Fatal(err)
+			}
+			// Corrupt the entry behind the store's back, then reopen so the
+			// memory tier cannot mask the damage (a crashed daemon's
+			// successor sees only the disk).
+			if err := os.WriteFile(s.path(key), garbage, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := s2.Get(key); ok {
+				t.Fatalf("corrupt entry served as a hit: %q", v)
+			}
+			if _, err := os.Stat(s2.path(key)); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not evicted from disk (stat err %v)", err)
+			}
+			if st := s2.Snapshot(); st.Corrupt != 1 {
+				t.Fatalf("Corrupt = %d, want 1", st.Corrupt)
+			}
+
+			// The miss is recoverable: Do recomputes and the clean value
+			// round-trips from disk again.
+			var computes atomic.Int64
+			want := []byte(`{"recomputed":true}`)
+			v, outcome, err := s2.Do(context.Background(), key, func(context.Context) ([]byte, error) {
+				computes.Add(1)
+				return want, nil
+			})
+			if err != nil || outcome != Miss || !bytes.Equal(v, want) {
+				t.Fatalf("Do after corruption = (%q, %v, %v)", v, outcome, err)
+			}
+			if computes.Load() != 1 {
+				t.Fatalf("computes = %d", computes.Load())
+			}
+			s3, err := Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := s3.Get(key); !ok || !bytes.Equal(v, want) {
+				t.Fatalf("recomputed entry lost: (%q, %v)", v, ok)
+			}
+		})
+	}
+}
+
+// TestEvictedWhileInflightStillReturns races LRU eviction against
+// singleflight waiters: with a one-entry memory tier being churned by
+// unrelated Puts, a key evicted the instant its computation lands must
+// still deliver the computed bytes to every waiter. Run with -race.
+func TestEvictedWhileInflightStillReturns(t *testing.T) {
+	s, err := Open("", 1) // memory-only, one slot: every Put evicts
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Put(KeyOf("churn", []byte(fmt.Sprint(i))), []byte(`{"churn":true}`))
+			}
+		}
+	}()
+
+	key := KeyOf("contended", nil)
+	want := []byte(`{"contended":"result"}`)
+	release := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = s.Do(context.Background(), key, func(context.Context) ([]byte, error) {
+				<-release
+				return want, nil
+			})
+		}(i)
+	}
+	// Let every late arrival join the flight before the leader finishes.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Snapshot().Shared < waiters-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never joined: %+v", s.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i], want) {
+			t.Fatalf("waiter %d got %q, want %q", i, results[i], want)
+		}
+	}
+	if st := s.Snapshot(); st.Misses != 1 || st.Shared != waiters-1 {
+		t.Fatalf("stats = %+v, want 1 miss / %d shared", st, waiters-1)
+	}
+}

@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Peer-hop headers. X-Request-ID is the serving layer's per-request ID,
+// propagated verbatim across fill and proxy hops so one grep finds a
+// request's log lines on every node it touched. X-Fleet-Path is the
+// accumulated hop path ("nodeA>nodeB"); each receiving node appends
+// itself and echoes the final path in its response. X-Fleet-Forwarded
+// marks a proxied request so the owner never proxies again — ownership
+// views can disagree transiently, and one hop is always enough to reach
+// a node willing to compute.
+const (
+	HeaderRequestID = "X-Request-ID"
+	HeaderPath      = "X-Fleet-Path"
+	HeaderForwarded = "X-Fleet-Forwarded"
+)
+
+// maxPeerBody bounds a peer response (a cached simulation result; the
+// largest sweeps are a few MB).
+const maxPeerBody = 64 << 20
+
+// AppendPath extends a hop path with one node.
+func AppendPath(path, node string) string {
+	if path == "" {
+		return node
+	}
+	return path + ">" + node
+}
+
+// short abbreviates a content-address key for log lines.
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
+// ProxySpec is a request the serving layer is willing to forward to the
+// key's owner: the endpoint path plus the canonical body (canonical, so
+// the owner derives the identical cache key).
+type ProxySpec struct {
+	Path string
+	Body []byte
+}
+
+// Fill asks the key's owner, then its ring successors, for an
+// already-cached result. It returns the bytes and the serving peer's ID
+// on a hit. Only alive non-self members are asked, at most three: the
+// owner plus the two nodes that inherit its keys if it dies — anyone
+// else is no likelier than chance to hold the value.
+func (f *Fleet) Fill(ctx context.Context, key, reqID, hopPath string) ([]byte, string, bool) {
+	for _, m := range f.owners(key, 3) {
+		if m.Self || m.State != StateAlive || m.Addr == "" {
+			continue
+		}
+		b, err := f.fetchOne(ctx, m, key, reqID, hopPath)
+		switch {
+		case err == nil && b != nil:
+			f.metrics.addPeer(f.metrics.fillHits, m.ID, 1)
+			return b, m.ID, true
+		case err == nil:
+			f.metrics.addPeer(f.metrics.fillMisses, m.ID, 1)
+		default:
+			f.metrics.addPeer(f.metrics.fillErrors, m.ID, 1)
+			f.logf("fill %s from %s: %v", short(key), m.ID, err)
+		}
+	}
+	return nil, "", false
+}
+
+// fetchOne is one GET /v1/cache/<key>; (nil, nil) means a clean 404.
+func (f *Fleet) fetchOne(ctx context.Context, m Member, key, reqID, hopPath string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.FillTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+m.Addr+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	if reqID != "" {
+		req.Header.Set(HeaderRequestID, reqID)
+	}
+	if hopPath != "" {
+		req.Header.Set(HeaderPath, hopPath)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+		if err != nil {
+			return nil, err
+		}
+		return b, nil
+	case http.StatusNotFound:
+		return nil, nil
+	}
+	return nil, fmt.Errorf("status %d", resp.StatusCode)
+}
+
+// Proxy forwards a full request to the owner, which computes (or
+// singleflight-joins) and caches it locally before answering. It
+// returns the response bytes plus the owner-reported hop path.
+func (f *Fleet) Proxy(ctx context.Context, m Member, spec ProxySpec, reqID, hopPath string) ([]byte, string, error) {
+	b, path, err := f.proxyOnce(ctx, m, spec, reqID, hopPath)
+	if err != nil {
+		f.metrics.addPeer(f.metrics.proxyErrors, m.ID, 1)
+		f.logf("proxy %s to %s: %v", spec.Path, m.ID, err)
+		return nil, "", err
+	}
+	f.metrics.addPeer(f.metrics.proxied, m.ID, 1)
+	return b, path, nil
+}
+
+func (f *Fleet) proxyOnce(ctx context.Context, m Member, spec ProxySpec, reqID, hopPath string) ([]byte, string, error) {
+	if m.Addr == "" {
+		return nil, "", fmt.Errorf("member %s has no address", m.ID)
+	}
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.ProxyTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+m.Addr+spec.Path, bytes.NewReader(spec.Body))
+	if err != nil {
+		return nil, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderForwarded, "1")
+	if reqID != "" {
+		req.Header.Set(HeaderRequestID, reqID)
+	}
+	if hopPath != "" {
+		req.Header.Set(HeaderPath, hopPath)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, "", fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		return nil, "", err
+	}
+	return b, resp.Header.Get(HeaderPath), nil
+}
+
+// Backfill pushes a locally computed result to the key's current owner,
+// asynchronously and best-effort. It runs when a node computed a key it
+// does not own (the owner was down or had to be bypassed): without the
+// push, every future fill for the key would miss until the owner
+// recomputes it. With it, the ring converges back to
+// one-simulation-per-key as soon as the owner is reachable.
+func (f *Fleet) Backfill(key string, val []byte) {
+	owner, ok := f.Owner(key)
+	if !ok || owner.Self || owner.Addr == "" {
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), f.cfg.FillTimeout+8*time.Second)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, "http://"+owner.Addr+"/v1/cache/"+key, bytes.NewReader(val))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := f.client.Do(req)
+		if err != nil {
+			f.metrics.add(&f.metrics.backfillErrors, 1)
+			f.logf("backfill %s to %s: %v", short(key), owner.ID, err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			f.metrics.add(&f.metrics.backfillErrors, 1)
+			f.logf("backfill %s to %s: status %d", short(key), owner.ID, resp.StatusCode)
+			return
+		}
+		f.metrics.add(&f.metrics.backfills, 1)
+	}()
+}
+
+// Fallback records that a request fell back to local compute because
+// the key's owner was unreachable (the serving layer calls it so the
+// counter lives next to the other fleet series).
+func (f *Fleet) Fallback() {
+	f.metrics.add(&f.metrics.fallbacks, 1)
+}

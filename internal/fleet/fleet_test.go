@@ -1,0 +1,365 @@
+package fleet
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memCache is a map-backed Cache for tests.
+type memCache struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMemCache() *memCache { return &memCache{m: map[string][]byte{}} }
+
+func (c *memCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+func (c *memCache) Put(key string, val []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = val
+	return nil
+}
+
+// testNode is one fleet member on a real loopback listener.
+type testNode struct {
+	fleet *Fleet
+	cache *memCache
+	srv   *httptest.Server
+	addr  string
+}
+
+// newTestNode boots a node. peers seeds its membership; interval drives
+// both gossip and the failure-detection clocks.
+func newTestNode(t *testing.T, id string, peers []string, interval time.Duration) *testNode {
+	t.Helper()
+	n := &testNode{cache: newMemCache()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/gossip", func(w http.ResponseWriter, r *http.Request) { n.fleet.HandleGossip(w, r) })
+	mux.HandleFunc("/v1/cache/", func(w http.ResponseWriter, r *http.Request) { n.fleet.HandleCache(w, r) })
+	n.srv = httptest.NewServer(mux)
+	n.addr = strings.TrimPrefix(n.srv.URL, "http://")
+	f, err := New(Config{
+		ID:        id,
+		Advertise: n.addr,
+		Peers:     peers,
+		Interval:  interval,
+		Cache:     n.cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.fleet = f
+	t.Cleanup(func() {
+		f.Close()
+		n.srv.Close()
+	})
+	return n
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func testKey(s string) string {
+	h := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(h[:])
+}
+
+// TestRingDeterministicBalancedMinimalDisruption pins the three
+// consistent-hashing properties the fleet depends on: every node builds
+// the identical ring regardless of member-insertion order; keys spread
+// across members rather than piling onto one; and removing a member
+// only remaps the keys it owned.
+func TestRingDeterministicBalancedMinimalDisruption(t *testing.T) {
+	r1 := newRing([]string{"a", "b", "c"}, 64)
+	r2 := newRing([]string{"c", "a", "b"}, 64)
+	const keys = 3000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		k := testKey(fmt.Sprint(i))
+		o1, ok1 := r1.owner(k)
+		o2, ok2 := r2.owner(k)
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("key %d: owner depends on insertion order (%q vs %q)", i, o1, o2)
+		}
+		counts[o1]++
+	}
+	for id, c := range counts {
+		if c < keys/10 {
+			t.Errorf("member %s owns only %d/%d keys — ring badly unbalanced", id, c, keys)
+		}
+	}
+
+	shrunk := newRing([]string{"a", "b"}, 64)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := testKey(fmt.Sprint(i))
+		before, _ := r1.owner(k)
+		after, _ := shrunk.owner(k)
+		if before != "c" && before != after {
+			t.Fatalf("key %d moved from surviving member %q to %q when c left", i, before, after)
+		}
+		if before == "c" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("c owned nothing; the disruption check proved nothing")
+	}
+}
+
+// TestRingOwnersDistinct checks owners() walks to distinct successors.
+func TestRingOwnersDistinct(t *testing.T) {
+	r := newRing([]string{"a", "b", "c"}, 64)
+	got := r.owners(testKey("x"), 3)
+	if len(got) != 3 {
+		t.Fatalf("owners = %v, want 3 distinct members", got)
+	}
+	seen := map[string]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("owners = %v contains a duplicate", got)
+		}
+		seen[id] = true
+	}
+	if more := r.owners(testKey("x"), 10); len(more) != 3 {
+		t.Fatalf("owners(10) on a 3-member ring = %v, want all 3", more)
+	}
+}
+
+// TestGossipConvergence boots three nodes seeded only with the first
+// one's address and waits for every node to see all three alive with
+// identical rings.
+func TestGossipConvergence(t *testing.T) {
+	const interval = 20 * time.Millisecond
+	a := newTestNode(t, "a", nil, interval)
+	b := newTestNode(t, "b", []string{a.addr}, interval)
+	c := newTestNode(t, "c", []string{a.addr}, interval)
+	for _, n := range []*testNode{a, b, c} {
+		n.fleet.Start()
+	}
+	allAlive := func(n *testNode) bool {
+		ms := n.fleet.Members()
+		if len(ms) != 3 {
+			return false
+		}
+		for _, m := range ms {
+			if m.State != StateAlive {
+				return false
+			}
+		}
+		return true
+	}
+	waitFor(t, 5*time.Second, "all nodes to see 3 alive members", func() bool {
+		return allAlive(a) && allAlive(b) && allAlive(c) &&
+			a.fleet.Ready() && b.fleet.Ready() && c.fleet.Ready()
+	})
+	want := fmt.Sprint(a.fleet.Status().Ring.Nodes)
+	for _, n := range []*testNode{b, c} {
+		if got := fmt.Sprint(n.fleet.Status().Ring.Nodes); got != want {
+			t.Fatalf("ring views diverge: %s vs %s", got, want)
+		}
+	}
+	// Ownership agrees across nodes for a sample of keys.
+	for i := 0; i < 50; i++ {
+		k := testKey(fmt.Sprint(i))
+		oa, _ := a.fleet.Owner(k)
+		ob, _ := b.fleet.Owner(k)
+		oc, _ := c.fleet.Owner(k)
+		if oa.ID != ob.ID || ob.ID != oc.ID {
+			t.Fatalf("key %d: owners disagree (%s/%s/%s)", i, oa.ID, ob.ID, oc.ID)
+		}
+	}
+}
+
+// TestFailureDetection kills one converged node and watches the
+// survivors age it through suspect into dead, dropping it off the ring.
+func TestFailureDetection(t *testing.T) {
+	const interval = 20 * time.Millisecond
+	a := newTestNode(t, "a", nil, interval)
+	b := newTestNode(t, "b", []string{a.addr}, interval)
+	a.fleet.Start()
+	b.fleet.Start()
+	waitFor(t, 5*time.Second, "a and b to converge", func() bool {
+		return len(a.fleet.Members()) == 2 && len(b.fleet.Members()) == 2
+	})
+
+	b.fleet.Close()
+	b.srv.Close()
+	waitFor(t, 5*time.Second, "a to declare b dead", func() bool {
+		return a.fleet.MemberState("b") == StateDead
+	})
+	if nodes := a.fleet.Status().Ring.Nodes; len(nodes) != 1 || nodes[0] != "a" {
+		t.Fatalf("ring after death = %v, want [a]", nodes)
+	}
+}
+
+// TestGracefulLeave checks that Leave propagates immediately: the peer
+// marks the leaver left (not suspect) and removes it from the ring
+// without waiting out the suspicion window.
+func TestGracefulLeave(t *testing.T) {
+	const interval = 50 * time.Millisecond
+	a := newTestNode(t, "a", nil, interval)
+	b := newTestNode(t, "b", []string{a.addr}, interval)
+	a.fleet.Start()
+	b.fleet.Start()
+	waitFor(t, 5*time.Second, "a and b to converge", func() bool {
+		return len(a.fleet.Members()) == 2 && len(b.fleet.Members()) == 2
+	})
+
+	b.fleet.Leave()
+	waitFor(t, 2*time.Second, "a to see b leave", func() bool {
+		return a.fleet.MemberState("b") == StateLeft
+	})
+	if nodes := a.fleet.Status().Ring.Nodes; len(nodes) != 1 || nodes[0] != "a" {
+		t.Fatalf("ring after leave = %v, want [a]", nodes)
+	}
+}
+
+// TestHandleCacheRoundTrip exercises the peer cache endpoint: PUT then
+// GET round-trips bytes, misses 404, malformed keys and non-JSON values
+// are rejected.
+func TestHandleCacheRoundTrip(t *testing.T) {
+	n := newTestNode(t, "solo", nil, time.Second)
+	key := testKey("v")
+	val := `{"answer":42}`
+
+	do := func(method, path, body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, n.srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := do(http.MethodGet, "/v1/cache/"+key, ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET before PUT: status %d, want 404", resp.StatusCode)
+	}
+	if resp := do(http.MethodPut, "/v1/cache/"+key, val); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: status %d, want 204", resp.StatusCode)
+	}
+	resp := do(http.MethodGet, "/v1/cache/"+key, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET after PUT: status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != val {
+		t.Fatalf("GET body = %q, want %q", b, val)
+	}
+	if resp := do(http.MethodPut, "/v1/cache/"+key, `{"torn":`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT invalid JSON: status %d, want 400", resp.StatusCode)
+	}
+	if resp := do(http.MethodGet, "/v1/cache/deadbeef", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET malformed key: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFillAndBackfill checks the data plane between two converged
+// nodes: Fill pulls the owner's cached bytes, and Backfill pushes a
+// locally computed value to the owner.
+func TestFillAndBackfill(t *testing.T) {
+	const interval = 20 * time.Millisecond
+	a := newTestNode(t, "a", nil, interval)
+	b := newTestNode(t, "b", []string{a.addr}, interval)
+	a.fleet.Start()
+	b.fleet.Start()
+	waitFor(t, 5*time.Second, "a and b to converge", func() bool {
+		return len(a.fleet.Members()) == 2 && len(b.fleet.Members()) == 2
+	})
+	byID := map[string]*testNode{"a": a, "b": b}
+
+	// Find a key b does not own, seed the owner's cache, Fill from b.
+	var key string
+	var owner Member
+	for i := 0; ; i++ {
+		key = testKey(fmt.Sprint("fill", i))
+		m, ok := b.fleet.Owner(key)
+		if ok && !m.Self {
+			owner = m
+			break
+		}
+	}
+	val := []byte(`{"cached":true}`)
+	byID[owner.ID].cache.Put(key, val)
+	got, peer, ok := b.fleet.Fill(context.Background(), key, "req-1", "b")
+	if !ok || peer != owner.ID || string(got) != string(val) {
+		t.Fatalf("Fill = (%q, %q, %v), want (%q, %q, true)", got, peer, ok, val, owner.ID)
+	}
+	if b.fleet.Counters().FillHits != 1 {
+		t.Fatalf("counters = %+v, want 1 fill hit", b.fleet.Counters())
+	}
+
+	// A key this node does not own, computed locally, backfills to the
+	// owner's cache.
+	var bkey string
+	for i := 0; ; i++ {
+		bkey = testKey(fmt.Sprint("backfill", i))
+		if m, ok := b.fleet.Owner(bkey); ok && !m.Self {
+			owner = m
+			break
+		}
+	}
+	bval := []byte(`{"computed":"locally"}`)
+	b.fleet.Backfill(bkey, bval)
+	waitFor(t, 2*time.Second, "backfill to land on the owner", func() bool {
+		v, ok := byID[owner.ID].cache.Get(bkey)
+		return ok && string(v) == string(bval)
+	})
+}
+
+// TestRestartSupersedesStaleRumor checks the incarnation tie-break: a
+// member that restarts (heartbeat reset, newer incarnation) replaces
+// its stale pre-restart entry instead of being ignored.
+func TestRestartSupersedesStaleRumor(t *testing.T) {
+	a := newTestNode(t, "a", nil, time.Second)
+	a.fleet.merge([]wireMember{{ID: "b", Addr: "x:1", Incarnation: 100, Heartbeat: 500}})
+	a.fleet.merge([]wireMember{{ID: "b", Addr: "x:2", Incarnation: 200, Heartbeat: 1}})
+	a.fleet.mu.Lock()
+	m := a.fleet.members["b"]
+	addr, inc := m.Addr, m.Incarnation
+	a.fleet.mu.Unlock()
+	if addr != "x:2" || inc != 200 {
+		t.Fatalf("restart rumor lost: addr=%s incarnation=%d", addr, inc)
+	}
+	// And the stale one cannot come back.
+	a.fleet.merge([]wireMember{{ID: "b", Addr: "x:1", Incarnation: 100, Heartbeat: 999}})
+	a.fleet.mu.Lock()
+	addr = a.fleet.members["b"].Addr
+	a.fleet.mu.Unlock()
+	if addr != "x:2" {
+		t.Fatal("stale incarnation overwrote the restarted member")
+	}
+}

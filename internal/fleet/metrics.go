@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// metrics holds the fleet's Prometheus series. The serving layer's
+// registry renders them at scrape time through WriteMetrics, so the
+// fleet stays free of the serve package (serve imports fleet, not the
+// reverse). Per-peer series are keyed by peer ID, which is bounded by
+// fleet size.
+type metrics struct {
+	mu sync.Mutex
+
+	gossipRounds   int64
+	gossipErrors   int64
+	backfills      int64
+	backfillErrors int64
+	fallbacks      int64
+
+	fillHits    map[string]int64 // by peer ID
+	fillMisses  map[string]int64
+	fillErrors  map[string]int64
+	proxied     map[string]int64
+	proxyErrors map[string]int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		fillHits:    map[string]int64{},
+		fillMisses:  map[string]int64{},
+		fillErrors:  map[string]int64{},
+		proxied:     map[string]int64{},
+		proxyErrors: map[string]int64{},
+	}
+}
+
+func (m *metrics) add(field *int64, delta int64) {
+	m.mu.Lock()
+	*field += delta
+	m.mu.Unlock()
+}
+
+func (m *metrics) addPeer(series map[string]int64, peer string, delta int64) {
+	m.mu.Lock()
+	series[peer] += delta
+	m.mu.Unlock()
+}
+
+// peerTotal sums one per-peer series (tests and the admin endpoint).
+func (m *metrics) peerTotal(series map[string]int64) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t int64
+	for _, v := range series {
+		t += v
+	}
+	return t
+}
+
+// Counters is the admin-endpoint summary of the fleet series.
+type Counters struct {
+	GossipRounds   int64 `json:"gossip_rounds"`
+	GossipErrors   int64 `json:"gossip_errors"`
+	FillHits       int64 `json:"fill_hits"`
+	FillMisses     int64 `json:"fill_misses"`
+	FillErrors     int64 `json:"fill_errors"`
+	Proxied        int64 `json:"proxied"`
+	ProxyErrors    int64 `json:"proxy_errors"`
+	Backfills      int64 `json:"backfills"`
+	BackfillErrors int64 `json:"backfill_errors"`
+	Fallbacks      int64 `json:"local_fallbacks"`
+}
+
+// Counters snapshots the fleet-level counters.
+func (f *Fleet) Counters() Counters {
+	m := f.metrics
+	m.mu.Lock()
+	c := Counters{
+		GossipRounds:   m.gossipRounds,
+		GossipErrors:   m.gossipErrors,
+		Backfills:      m.backfills,
+		BackfillErrors: m.backfillErrors,
+		Fallbacks:      m.fallbacks,
+	}
+	sum := func(s map[string]int64) int64 {
+		var t int64
+		for _, v := range s {
+			t += v
+		}
+		return t
+	}
+	c.FillHits = sum(m.fillHits)
+	c.FillMisses = sum(m.fillMisses)
+	c.FillErrors = sum(m.fillErrors)
+	c.Proxied = sum(m.proxied)
+	c.ProxyErrors = sum(m.proxyErrors)
+	m.mu.Unlock()
+	return c
+}
+
+// WriteMetrics renders the fleet series in Prometheus text exposition
+// format; the serving registry calls it at scrape time.
+func (f *Fleet) WriteMetrics(w io.Writer) {
+	states := map[State]int{StateAlive: 0, StateSuspect: 0, StateDead: 0, StateLeft: 0}
+	f.mu.Lock()
+	for _, m := range f.members {
+		states[m.state]++
+	}
+	ringNodes := len(f.ring.nodes())
+	ready := 0
+	if f.ready || (len(f.seeds) == 0 && len(f.members) == 1) {
+		ready = 1
+	}
+	f.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP spind_fleet_members Fleet members in the local view by health state.\n# TYPE spind_fleet_members gauge\n")
+	for _, s := range []State{StateAlive, StateSuspect, StateDead, StateLeft} {
+		fmt.Fprintf(w, "spind_fleet_members{state=%q} %d\n", s, states[s])
+	}
+	fmt.Fprintf(w, "# HELP spind_fleet_ring_nodes Members currently owning keys on the consistent-hash ring.\n# TYPE spind_fleet_ring_nodes gauge\nspind_fleet_ring_nodes %d\n", ringNodes)
+	fmt.Fprintf(w, "# HELP spind_fleet_ready Whether the first gossip round has completed (readiness gate).\n# TYPE spind_fleet_ready gauge\nspind_fleet_ready %d\n", ready)
+
+	m := f.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	writeScalar := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	writeScalar("spind_fleet_gossip_rounds_total", "Gossip rounds completed.", m.gossipRounds)
+	writeScalar("spind_fleet_gossip_errors_total", "Gossip exchanges that failed.", m.gossipErrors)
+	writeScalar("spind_fleet_backfills_total", "Locally computed results pushed to their ring owner.", m.backfills)
+	writeScalar("spind_fleet_backfill_errors_total", "Backfill pushes that failed.", m.backfillErrors)
+	writeScalar("spind_fleet_local_fallbacks_total", "Requests computed locally because the key's owner was unreachable.", m.fallbacks)
+	writePeer := func(name, help string, series map[string]int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		if len(series) == 0 {
+			fmt.Fprintf(w, "%s 0\n", name)
+			return
+		}
+		peers := make([]string, 0, len(series))
+		for p := range series {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		for _, p := range peers {
+			fmt.Fprintf(w, "%s{peer=%q} %d\n", name, p, series[p])
+		}
+	}
+	writePeer("spind_fleet_fill_hits_total", "Peer cache-fills that returned a cached result.", m.fillHits)
+	writePeer("spind_fleet_fill_misses_total", "Peer cache-fills answered 404 (owner had no entry).", m.fillMisses)
+	writePeer("spind_fleet_fill_errors_total", "Peer cache-fills that failed (peer unreachable or errored).", m.fillErrors)
+	writePeer("spind_fleet_proxied_total", "Requests forwarded to their key's owner for compute.", m.proxied)
+	writePeer("spind_fleet_proxy_errors_total", "Owner forwards that failed (fell back to local compute).", m.proxyErrors)
+}

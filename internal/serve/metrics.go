@@ -108,6 +108,19 @@ func (c *funcCounter) render(w io.Writer) {
 	fmt.Fprintf(w, "%s %s\n", c.name, formatValue(c.fn()))
 }
 
+// rawCollector delegates a whole block of exposition text to a callback
+// that writes its own HELP/TYPE lines (e.g. the fleet's per-peer
+// series, which own their label sets).
+type rawCollector struct {
+	fn func(io.Writer)
+}
+
+func (r *registry) collectorFunc(fn func(io.Writer)) {
+	r.add(&rawCollector{fn: fn})
+}
+
+func (c *rawCollector) render(w io.Writer) { c.fn(w) }
+
 // counter is a monotonically increasing sample set, one series per
 // label combination.
 type counter struct {

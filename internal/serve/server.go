@@ -29,6 +29,7 @@ import (
 	spin "repro"
 	"repro/internal/cache"
 	"repro/internal/exp"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -66,8 +67,16 @@ type Config struct {
 	// request ID, endpoint, status code, cache outcome, job key, and
 	// duration. The request ID is echoed in the X-Request-ID header and
 	// in error bodies, so a client-reported failure is one grep away from
-	// its server-side line.
+	// its server-side line. With a fleet attached, the line also carries
+	// the peer-hop path and how the fleet satisfied the request.
 	Log *log.Logger
+	// Fleet, when non-nil, joins this server to a spind fleet: requests
+	// consult the consistent-hash ring for their owner, fill from peer
+	// caches before simulating, and proxy to (or fall back from) the
+	// owner. The fleet's gossip/cache/admin endpoints are mounted on the
+	// handler tree and its Prometheus series on /metrics. Single-node
+	// behaviour is bit-for-bit unchanged when nil.
+	Fleet *fleet.Fleet
 }
 
 // SimRequest is the /v1/simulate body: a harness scenario plus serving-
@@ -174,6 +183,12 @@ type Server struct {
 	workersEff int
 	shardsEff  int
 
+	// fleet is the optional membership/ownership layer; draining flips
+	// when shutdown starts so /readyz fails before the listener closes
+	// (load balancers stop routing while in-flight requests finish).
+	fleet    *fleet.Fleet
+	draining atomic.Bool
+
 	reqSeq atomic.Uint64 // request-ID sequence (satellite: request logging)
 
 	// testCompute, when set (tests only), replaces the simulation body
@@ -200,7 +215,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		cfg.QueueSize = 4 * workers
 	}
-	s := &Server{cfg: cfg, store: cfg.Cache, mux: http.NewServeMux(), start: time.Now(), reg: newRegistry()}
+	s := &Server{cfg: cfg, store: cfg.Cache, mux: http.NewServeMux(), start: time.Now(), reg: newRegistry(), fleet: cfg.Fleet}
 
 	// Resolve the parallelism budget: request-level workers multiply
 	// with per-simulation shards, so cap the shard count to keep the
@@ -251,6 +266,8 @@ func New(cfg Config) (*Server, error) {
 		snap(func(st cache.Stats) float64 { return float64(st.Shared) }))
 	s.reg.counterFunc("spind_compute_errors_total", "Led computations that failed (never cached).",
 		snap(func(st cache.Stats) float64 { return float64(st.Errors) }))
+	s.reg.counterFunc("spind_cache_corrupt_evictions_total", "On-disk cache entries that failed strict decode and were evicted (served as misses).",
+		snap(func(st cache.Stats) float64 { return float64(st.Corrupt) }))
 	s.reg.gaugeFunc("spind_cache_mem_entries", "Entries in the in-memory cache tier.",
 		snap(func(st cache.Stats) float64 { return float64(st.MemEntries) }))
 	s.reg.gaugeFunc("spind_uptime_seconds", "Seconds since the daemon started.",
@@ -273,7 +290,17 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.fleet != nil {
+		// Gossip and cache-fill are fleet-internal chatter (every node,
+		// every interval); they skip the request log. The admin view is
+		// operator-facing and logged like any endpoint.
+		s.mux.HandleFunc("/v1/fleet", s.instrument("fleet", s.fleet.HandleAdmin))
+		s.mux.HandleFunc("/v1/gossip", s.fleet.HandleGossip)
+		s.mux.HandleFunc("/v1/cache/", s.fleet.HandleCache)
+		s.reg.collectorFunc(s.fleet.WriteMetrics)
+	}
 	return s, nil
 }
 
@@ -295,13 +322,24 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so SSE streaming works through
+// the instrumentation layer.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // reqInfo is the per-request context record behind request logging: the
 // ID assigned at ingress plus whatever the handler learns along the way
-// (cache outcome, job key).
+// (cache outcome, job key, and — with a fleet — how the fleet satisfied
+// the request and the peer-hop path).
 type reqInfo struct {
 	id    string
 	cache string
 	key   string
+	fleet string // "-", "owner", "fill:<peer>", "proxy:<peer>", "fallback"
+	path  string // hop path, e.g. "nodeA>nodeB" ("" without a fleet)
 }
 
 type reqInfoKey struct{}
@@ -320,11 +358,21 @@ func (s *Server) nextRequestID() string {
 }
 
 // instrument wraps a handler with the request counter, the latency
-// histogram, the request-ID header, and the per-request log line.
+// histogram, the request-ID header, and the per-request log line. An
+// incoming X-Request-ID (a client correlation ID, or a peer hop inside
+// the fleet) is adopted instead of minting a new one, so one ID follows
+// a request across every node it touches.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		info := &reqInfo{id: s.nextRequestID(), cache: "-", key: "-"}
+		id := sanitizeRequestID(r.Header.Get(fleet.HeaderRequestID))
+		if id == "" {
+			id = s.nextRequestID()
+		}
+		info := &reqInfo{id: id, cache: "-", key: "-", fleet: "-"}
+		if s.fleet != nil {
+			info.path = fleet.AppendPath(r.Header.Get(fleet.HeaderPath), s.fleet.SelfID())
+		}
 		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info))
 		w.Header().Set("X-Request-ID", info.id)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
@@ -333,10 +381,32 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		s.mRequests.AddL(map[string]string{"endpoint": endpoint, "code": fmt.Sprint(sw.code)}, 1)
 		s.mReqSeconds.ObserveL(map[string]string{"endpoint": endpoint}, dur.Seconds())
 		if s.cfg.Log != nil {
-			s.cfg.Log.Printf("req id=%s endpoint=%s code=%d cache=%s key=%s dur=%s",
+			line := fmt.Sprintf("req id=%s endpoint=%s code=%d cache=%s key=%s dur=%s",
 				info.id, endpoint, sw.code, info.cache, info.key, dur.Round(time.Microsecond))
+			if s.fleet != nil {
+				line += fmt.Sprintf(" fleet=%s path=%s", info.fleet, info.path)
+			}
+			s.cfg.Log.Print(line)
 		}
 	}
+}
+
+// sanitizeRequestID accepts a forwarded request ID only when it is
+// log-grep-safe: short and free of whitespace, quotes, and control
+// bytes (an attacker-controlled header must not forge log fields).
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c == '-' || c == '_' || c == '.' || c == ':'
+		if !ok {
+			return ""
+		}
+	}
+	return id
 }
 
 // httpError answers an error with the request ID appended, so a client
@@ -348,13 +418,39 @@ func httpError(w http.ResponseWriter, r *http.Request, msg string, code int) {
 	http.Error(w, msg, code)
 }
 
-// handleHealthz reports liveness plus a queue snapshot.
+// handleHealthz reports liveness plus a queue snapshot. Liveness only:
+// a draining daemon is still alive (it must finish in-flight work), so
+// orchestrators should restart on /healthz and route on /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	queued, running := s.pool.Depth()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"status":"ok","uptime_seconds":%.1f,"queued":%d,"running":%d}`+"\n",
 		time.Since(s.start).Seconds(), queued, running)
 }
+
+// handleReadyz reports readiness: whether this node should receive new
+// traffic. It fails while draining (shutdown has begun but in-flight
+// requests are finishing) and, in a fleet, before the first gossip
+// round (the node has not learned the ring yet, so it would compute
+// keys its peers already cached).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+	case s.fleet != nil && !s.fleet.Ready():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"waiting-for-gossip"}`)
+	default:
+		fmt.Fprintln(w, `{"status":"ready"}`)
+	}
+}
+
+// SetDraining flips the readiness gate; cmd/spind sets it when shutdown
+// begins, before closing the listener, so load balancers and fleet
+// peers stop routing here while in-flight requests complete.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // handleMetrics renders the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -396,6 +492,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	n := req.normalized()
 	key := cache.KeyOf(ResultVersion+"/simulate", n.canonical())
+	if stream := r.URL.Query().Get("stream"); stream != "" {
+		if stream != "sse" {
+			httpError(w, r, fmt.Sprintf("bad request: unknown stream mode %q (want sse)", stream), http.StatusBadRequest)
+			return
+		}
+		s.handleSimulateSSE(w, r, req, n, key)
+		return
+	}
 	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
 		return s.pool.Submit(ctx, runner.Job[[]byte]{Key: key, Run: func(jctx context.Context, _ int64) ([]byte, error) {
 			if s.testCompute != nil {
@@ -403,7 +507,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			}
 			return s.runSimulation(jctx, n, key)
 		}})
-	})
+	}, &fleet.ProxySpec{Path: "/v1/simulate", Body: n.canonical()})
 }
 
 // handleSweep is POST /v1/sweep.
@@ -445,32 +549,104 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			return buf.Bytes(), nil
 		}})
-	})
+	}, &fleet.ProxySpec{Path: "/v1/sweep", Body: n.Canonical()})
 }
 
 // serveCached is the shared request tail: consult the cache (deduping
 // concurrent identical requests), run the computation on a miss, map
 // failure modes to status codes, and emit the result with cache
-// metadata headers.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(context.Context) ([]byte, error)) {
-	if info := requestInfo(r); info != nil {
+// metadata headers. proxy, when non-nil and a fleet is attached, allows
+// the computation to be satisfied by the key's ring owner instead of
+// locally (see fleetCompute).
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(context.Context) ([]byte, error), proxy *fleet.ProxySpec) {
+	info := requestInfo(r)
+	if info != nil {
 		info.key = key
 	}
-	body, outcome, err := s.store.Do(r.Context(), key, compute)
+	body, outcome, err := s.store.Do(r.Context(), key, s.fleetCompute(r, info, key, compute, proxy))
 	if err != nil {
-		if info := requestInfo(r); info != nil {
+		if info != nil {
 			info.cache = "error"
 		}
 		s.writeError(w, r, key, err)
 		return
 	}
-	if info := requestInfo(r); info != nil {
+	if info != nil {
 		info.cache = outcome.String()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", outcome.String())
 	w.Header().Set("X-Cache-Key", key)
+	if s.fleet != nil && info != nil {
+		w.Header().Set("X-Fleet", info.fleet)
+		w.Header().Set(fleet.HeaderPath, info.path)
+	}
 	w.Write(body)
+}
+
+// fleetCompute wraps a local computation with the fleet request path:
+//
+//  1. resolve the key's deterministic owner on the consistent-hash ring;
+//  2. if we own it (or there is no fleet), compute locally;
+//  3. otherwise ask the owner — then its successors — for the cached
+//     bytes (peer cache-fill: a remote hit is byte-identical to a local
+//     one, so it simply becomes our cached value);
+//  4. on fill miss with a healthy owner, proxy the canonical request to
+//     it, so each simulation runs once fleet-wide, on its owner, with
+//     the owner's own singleflight deduping concurrent callers;
+//  5. on owner failure, compute locally and backfill the result to the
+//     ring, so availability never depends on any single node.
+//
+// The wrapper runs inside cache.Store.Do, so everything downstream of
+// the local cache — including the peer round-trips — is deduplicated:
+// N concurrent identical requests on this node cost one fill/proxy hop.
+// Requests already forwarded once (X-Fleet-Forwarded) always compute
+// locally; divergent ring views must not bounce a request around.
+func (s *Server) fleetCompute(r *http.Request, info *reqInfo, key string, compute func(context.Context) ([]byte, error), proxy *fleet.ProxySpec) func(context.Context) ([]byte, error) {
+	if s.fleet == nil || r.Header.Get(fleet.HeaderForwarded) != "" {
+		return compute
+	}
+	var reqID, hopPath string
+	if info != nil {
+		reqID, hopPath = info.id, info.path
+	}
+	return func(ctx context.Context) ([]byte, error) {
+		owner, ok := s.fleet.Owner(key)
+		if !ok || owner.Self {
+			if info != nil && ok {
+				info.fleet = "owner"
+			}
+			return compute(ctx)
+		}
+		if b, peer, ok := s.fleet.Fill(ctx, key, reqID, hopPath); ok {
+			if info != nil {
+				info.fleet = "fill:" + peer
+			}
+			return b, nil
+		}
+		if proxy != nil && owner.State == fleet.StateAlive {
+			if b, upPath, err := s.fleet.Proxy(ctx, owner, *proxy, reqID, hopPath); err == nil {
+				if info != nil {
+					info.fleet = "proxy:" + owner.ID
+					if upPath != "" {
+						info.path = upPath
+					}
+				}
+				return b, nil
+			}
+			// Proxy failure is already counted and logged by the fleet;
+			// fall through to local compute.
+		}
+		b, err := compute(ctx)
+		if err == nil {
+			if info != nil {
+				info.fleet = "fallback"
+			}
+			s.fleet.Fallback()
+			s.fleet.Backfill(key, b)
+		}
+		return b, err
+	}
 }
 
 // writeError maps computation failures onto HTTP semantics.
@@ -503,6 +679,17 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, key string, 
 // runSimulation executes one canonical scenario and renders the
 // response bytes that get cached.
 func (s *Server) runSimulation(ctx context.Context, req SimRequest, key string) ([]byte, error) {
+	return s.runSim(ctx, req, key, 0, nil)
+}
+
+// runSim is the shared simulation body. When onSample is non-nil (the
+// SSE streaming path), the run is chunked at epoch-window granularity
+// and each freshly closed time-series window is delivered to onSample
+// as the simulation progresses. Chunked stepping is state-for-state
+// identical to one Run call and the window sampler is observational, so
+// the rendered response bytes — the value that gets cached — are
+// byte-identical with and without streaming.
+func (s *Server) runSim(ctx context.Context, req SimRequest, key string, streamWindow int64, onSample func(sim.WindowSample)) ([]byte, error) {
 	start := time.Now()
 	sc := req.Scenario
 	cfg := sc.Config()
@@ -529,13 +716,38 @@ func (s *Server) runSimulation(ctx context.Context, req SimRequest, key string) 
 	if req.Telemetry {
 		topt.Window = req.Epoch
 	}
+	if onSample != nil && topt.Window <= 0 {
+		// Streaming needs a window even when the response itself carries
+		// no time-series; the samples are progress-only and the response
+		// fields stay gated on req.Telemetry below.
+		topt.Window = streamWindow
+	}
 	var oracle oracleCounter
 	if req.Check {
 		topt.Probe = &oracle
 	}
 	tele := simulation.Network().AttachTelemetry(topt)
-	if err := runner.Cycles(ctx, simulation.Run, sc.Cycles); err != nil {
-		return nil, err
+	if onSample == nil {
+		if err := runner.Cycles(ctx, simulation.Run, sc.Cycles); err != nil {
+			return nil, err
+		}
+	} else {
+		emitted := 0
+		for done := int64(0); done < sc.Cycles; {
+			chunk := topt.Window
+			if rem := sc.Cycles - done; rem < chunk {
+				chunk = rem
+			}
+			if err := runner.Cycles(ctx, simulation.Run, chunk); err != nil {
+				return nil, err
+			}
+			done += chunk
+			if ts := tele.TimeSeries(); ts != nil {
+				for ; emitted < len(ts.Samples); emitted++ {
+					onSample(ts.Samples[emitted])
+				}
+			}
+		}
 	}
 	st := simulation.Stats()
 	resp := SimResponse{

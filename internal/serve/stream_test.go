@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// parseSSE splits an event-stream body into events (comments dropped).
+func parseSSE(t *testing.T, body string) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	for _, block := range strings.Split(body, "\n\n") {
+		var ev sseEvent
+		var data []string
+		for _, line := range strings.Split(block, "\n") {
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				ev.name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = append(data, strings.TrimPrefix(line, "data: "))
+			case strings.HasPrefix(line, ":"), line == "":
+				// comment or trailing blank
+			default:
+				t.Fatalf("unparseable SSE line %q", line)
+			}
+		}
+		if ev.name != "" {
+			ev.data = strings.Join(data, "\n")
+			events = append(events, ev)
+		}
+	}
+	return events
+}
+
+// streamScenario asks for telemetry with a 100-cycle window over a
+// 1000-cycle run: ten sample events, deterministically.
+const streamScenario = `{"topology":"mesh:4x4","routing":"min_adaptive","scheme":"spin","traffic":"uniform_random","rate":0.05,"cycles":1000,"seed":1,"telemetry":true,"epoch":100}`
+
+// TestSimulateSSEStreamsSamplesAndResult is the streaming tentpole
+// check: ?stream=sse delivers one sample event per closed telemetry
+// window followed by a result event whose payload is byte-identical to
+// the non-streaming response — same cache key, same bytes.
+func TestSimulateSSEStreamsSamplesAndResult(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := post(t, s.Handler(), "/v1/simulate?stream=sse", streamScenario)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	events := parseSSE(t, rec.Body.String())
+	samples := 0
+	var result string
+	for _, ev := range events {
+		switch ev.name {
+		case "sample":
+			if result != "" {
+				t.Fatal("sample event after the result event")
+			}
+			if !strings.Contains(ev.data, `"injected_flits"`) {
+				t.Fatalf("sample payload is not a WindowSample: %s", ev.data)
+			}
+			samples++
+		case "result":
+			result = ev.data
+		case "error":
+			t.Fatalf("stream errored: %s", ev.data)
+		}
+	}
+	if samples != 10 {
+		t.Fatalf("got %d sample events, want 10 (1000 cycles / epoch 100)", samples)
+	}
+	if result == "" {
+		t.Fatal("stream ended without a result event")
+	}
+
+	// The streamed result must be the exact bytes a plain request gets.
+	plain := post(t, s.Handler(), "/v1/simulate", streamScenario)
+	if plain.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("plain repeat X-Cache = %q — stream and non-stream must share one cache entry", plain.Header().Get("X-Cache"))
+	}
+	if want := strings.TrimRight(plain.Body.String(), "\n"); result != want {
+		t.Fatalf("streamed result differs from the non-streaming body:\n--- sse ---\n%s\n--- plain ---\n%s", result, want)
+	}
+	if got, want := rec.Header().Get("X-Cache-Key"), plain.Header().Get("X-Cache-Key"); got != want {
+		t.Fatalf("stream key %q != plain key %q", got, want)
+	}
+}
+
+// TestSimulateSSECacheHitSkipsSamples: a stream request for an
+// already-cached result replays the bytes without re-simulating, so it
+// carries no sample events.
+func TestSimulateSSECacheHitSkipsSamples(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if rec := post(t, s.Handler(), "/v1/simulate", streamScenario); rec.Code != http.StatusOK {
+		t.Fatalf("priming request failed: %d", rec.Code)
+	}
+	misses := s.store.Snapshot().Misses
+
+	rec := post(t, s.Handler(), "/v1/simulate?stream=sse", streamScenario)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	events := parseSSE(t, rec.Body.String())
+	if len(events) != 1 || events[0].name != "result" {
+		t.Fatalf("cache-hit stream events = %+v, want exactly one result", events)
+	}
+	if st := s.store.Snapshot(); st.Misses != misses {
+		t.Fatal("cache-hit stream recomputed the simulation")
+	}
+}
+
+// TestSimulateSSEWithoutTelemetry: streaming works for requests that
+// never asked for a response time-series — the samples are synthesized
+// from a default window and the cached bytes stay telemetry-free.
+func TestSimulateSSEWithoutTelemetry(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := post(t, s.Handler(), "/v1/simulate?stream=sse", smallScenario)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	events := parseSSE(t, rec.Body.String())
+	samples := 0
+	var result string
+	for _, ev := range events {
+		switch ev.name {
+		case "sample":
+			samples++
+		case "result":
+			result = ev.data
+		}
+	}
+	if samples == 0 {
+		t.Fatal("no sample events for a telemetry-free stream")
+	}
+	if strings.Contains(result, `"time_series"`) {
+		t.Fatal("streaming leaked a time-series into the cached response")
+	}
+	plain := post(t, s.Handler(), "/v1/simulate", smallScenario)
+	if plain.Header().Get("X-Cache") != "hit" {
+		t.Fatal("stream and non-stream diverged on the cache key")
+	}
+	if want := strings.TrimRight(plain.Body.String(), "\n"); result != want {
+		t.Fatal("streamed result differs from the non-streaming body")
+	}
+}
+
+// TestSimulateSSEBadParams pins the 4xx surface of the stream knob.
+func TestSimulateSSEBadParams(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := post(t, s.Handler(), "/v1/simulate?stream=websocket", smallScenario)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown stream mode: status = %d, want 400", rec.Code)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("stream")) {
+		t.Fatalf("error does not name the bad parameter: %s", rec.Body)
+	}
+	// Invalid scenarios fail before any streaming starts: a plain 400,
+	// not an SSE error event.
+	bad := post(t, s.Handler(), "/v1/simulate?stream=sse", `{"topology":"mesh:4x4","rate":0.05,"cycles":1000,"seed":1}`)
+	if bad.Code != http.StatusBadRequest {
+		t.Fatalf("invalid scenario: status = %d, want 400", bad.Code)
+	}
+}

@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for a spind fleet: boot three gossiping daemons
+# plus a single-node reference, wait for readiness (first gossip round),
+# fan a seed sweep across the fleet round-robin and assert every
+# response is byte-identical (sha256) to the reference node's answer,
+# repeat the sweep rotated one node over and prove zero new simulations
+# ran (the fleet answered from its distributed cache), stream one
+# request over SSE, SIGKILL a node mid-sweep and assert the survivors
+# answer everything — still byte-identical — and detect the death via
+# gossip. With SMOKE_ARTIFACTS_DIR set, per-node logs and metrics are
+# left there for CI to upload. Run from the repo root.
+set -euo pipefail
+
+BASE="${SPIND_FLEET_BASE_PORT:-18190}"
+A1="127.0.0.1:$BASE"; A2="127.0.0.1:$((BASE+1))"; A3="127.0.0.1:$((BASE+2))"
+REF="127.0.0.1:$((BASE+3))"
+PEERS="$A1,$A2,$A3"
+TMP="$(mktemp -d)"
+PIDS=()
+
+collect_artifacts() {
+  if [ -n "${SMOKE_ARTIFACTS_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACTS_DIR"
+    cp "$TMP"/*.log "$SMOKE_ARTIFACTS_DIR/" 2>/dev/null || true
+    for a in "$A1" "$A2" "$A3"; do
+      curl -fsS --max-time 2 "http://$a/metrics" > "$SMOKE_ARTIFACTS_DIR/metrics-$a.txt" 2>/dev/null || true
+      curl -fsS --max-time 2 "http://$a/v1/fleet" > "$SMOKE_ARTIFACTS_DIR/fleet-$a.json" 2>/dev/null || true
+    done
+  fi
+}
+cleanup() {
+  collect_artifacts
+  for p in "${PIDS[@]}"; do kill -9 "$p" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$TMP/spind" ./cmd/spind
+
+boot() { # boot <addr> <node-id> <peers>
+  local addr="$1" id="$2" peers="$3"
+  "$TMP/spind" -addr "$addr" -cachedir "$TMP/cache-$id" -gossip 200ms \
+    ${peers:+-peers "$peers"} ${id:+-node "$id"} 2> "$TMP/$id.log" &
+  PIDS+=("$!")
+}
+
+echo "== boot reference node + 3-node fleet (gossip 200ms)"
+boot "$REF" ref ""
+boot "$A1" n1 "$PEERS"
+boot "$A2" n2 "$PEERS"
+boot "$A3" n3 "$PEERS"
+
+wait_ready() { # wait_ready <addr> [path]
+  local addr="$1" path="${2:-/readyz}"
+  for i in $(seq 1 100); do
+    if curl -fsS "http://$addr$path" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "node $addr never became ready ($path)" >&2
+  return 1
+}
+wait_ready "$REF" /healthz
+for a in "$A1" "$A2" "$A3"; do wait_ready "$a"; done
+
+echo "== fleet admin view: all three alive on every node"
+for a in "$A1" "$A2" "$A3"; do
+  curl -fsS "http://$a/v1/fleet" > "$TMP/fleet.json"
+  alive="$(grep -c '"state": "alive"' "$TMP/fleet.json" || true)"
+  [ "$alive" -eq 3 ] || { echo "node $a sees $alive alive members, want 3:"; cat "$TMP/fleet.json"; exit 1; }
+done
+
+body() { # body <seed>
+  printf '{"topology":"mesh:4x4","routing":"min_adaptive","scheme":"spin","traffic":"uniform_random","rate":0.05,"cycles":2000,"seed":%d}' "$1"
+}
+NODES=("$A1" "$A2" "$A3")
+
+echo "== reference run (single node)"
+for seed in $(seq 1 9); do
+  curl -fsS -o "$TMP/ref-$seed.json" -d "$(body "$seed")" "http://$REF/v1/simulate"
+done
+
+echo "== fan the sweep across the fleet round-robin"
+for seed in $(seq 1 9); do
+  node="${NODES[$(( (seed - 1) % 3 ))]}"
+  curl -fsS -o "$TMP/fleet-$seed.json" -d "$(body "$seed")" "http://$node/v1/simulate"
+  cmp "$TMP/ref-$seed.json" "$TMP/fleet-$seed.json" \
+    || { echo "seed $seed via $node differs from the single-node reference"; exit 1; }
+done
+sha256sum "$TMP"/ref-*.json > "$TMP/ref.sha256"
+( cd "$TMP" && sed 's/ref-/fleet-/' ref.sha256 | sha256sum -c --quiet ) \
+  || { echo "fleet responses not byte-identical to reference"; exit 1; }
+
+sim_count() { # total executed simulations across the fleet
+  local total=0 c
+  for a in "$A1" "$A2" "$A3"; do
+    c="$(curl -fsS "http://$a/metrics" | awk '/^spind_simulation_duration_seconds_count /{print $2}')"
+    total=$((total + ${c:-0}))
+  done
+  echo "$total"
+}
+
+echo "== repeat the sweep rotated one node over: zero new simulations"
+before="$(sim_count)"
+for seed in $(seq 1 9); do
+  node="${NODES[$(( seed % 3 ))]}"
+  curl -fsS -D "$TMP/h" -o "$TMP/again-$seed.json" -d "$(body "$seed")" "http://$node/v1/simulate"
+  cmp "$TMP/ref-$seed.json" "$TMP/again-$seed.json" \
+    || { echo "repeated seed $seed differs"; exit 1; }
+done
+after="$(sim_count)"
+[ "$before" -eq "$after" ] \
+  || { echo "repeat sweep ran $((after - before)) new simulations, want 0"; exit 1; }
+echo "   executed simulations fleet-wide: $after (unchanged across repeat)"
+
+echo "== sweep endpoint across the hop"
+SWEEP='{"fig":"10","cycles":5000,"warmup":500}'
+curl -fsS -o "$TMP/sweep-ref.json" -d "$SWEEP" "http://$REF/v1/sweep"
+curl -fsS -o "$TMP/sweep-n2.json" -d "$SWEEP" "http://$A2/v1/sweep"
+cmp "$TMP/sweep-ref.json" "$TMP/sweep-n2.json" || { echo "sweep differs from reference"; exit 1; }
+
+echo "== SSE stream"
+SSEBODY='{"topology":"mesh:4x4","routing":"min_adaptive","scheme":"spin","traffic":"uniform_random","rate":0.05,"cycles":2000,"seed":77,"telemetry":true,"epoch":200}'
+curl -fsSN -o "$TMP/sse.txt" -d "$SSEBODY" "http://$A1/v1/simulate?stream=sse"
+grep -q '^event: sample' "$TMP/sse.txt" || { echo "SSE stream carried no sample events:"; cat "$TMP/sse.txt"; exit 1; }
+grep -q '^event: result' "$TMP/sse.txt" || { echo "SSE stream carried no result event"; exit 1; }
+
+echo "== SIGKILL n3 mid-sweep: survivors keep answering, byte-identical"
+N3_PID="${PIDS[3]}"
+for seed in $(seq 20 25); do
+  curl -fsS -o "$TMP/ref-$seed.json" -d "$(body "$seed")" "http://$REF/v1/simulate"
+done
+(
+  sleep 0.3
+  kill -9 "$N3_PID"
+) &
+KILLER=$!
+for seed in $(seq 20 25); do
+  node="${NODES[$(( seed % 2 ))]}" # survivors only; n3 keys fall back
+  curl -fsS -o "$TMP/kill-$seed.json" -d "$(body "$seed")" "http://$node/v1/simulate"
+  cmp "$TMP/ref-$seed.json" "$TMP/kill-$seed.json" \
+    || { echo "seed $seed after the kill differs from reference"; exit 1; }
+done
+wait "$KILLER"
+kill -0 "$N3_PID" 2>/dev/null && { echo "n3 survived SIGKILL?"; exit 1; }
+
+echo "== gossip notices the death"
+for i in $(seq 1 75); do
+  alive="$(curl -fsS "http://$A1/v1/fleet" | grep -c '"state": "alive"' || true)"
+  [ "$alive" -le 2 ] && break
+  sleep 0.2
+done
+[ "$alive" -le 2 ] || { echo "n1 still sees $alive alive members after killing n3"; exit 1; }
+
+echo "== graceful drain of the survivors"
+kill -TERM "${PIDS[1]}" "${PIDS[2]}" "${PIDS[0]}"
+wait "${PIDS[1]}" "${PIDS[2]}" "${PIDS[0]}" 2>/dev/null || true
+
+grep -q 'fleet=' "$TMP/n1.log" || { echo "n1 request log has no fleet fields:"; cat "$TMP/n1.log"; exit 1; }
+echo "smoke_fleet: OK"
