@@ -26,6 +26,20 @@
 // firings — plus counter tracks sampled every -epoch cycles. -hist
 // prints p50/p95/p99 latency percentiles and -tsout writes the windowed
 // time-series JSON.
+//
+// Workload shaping (see internal/workload): -window W turns the
+// synthetic source into closed-loop request/response clients with at
+// most W requests outstanding per terminal (-think sets the mean
+// post-reply think time), -burst ON:OFF modulates the source with
+// per-terminal on/off bursts, and -hotspot FRAC:N skews FRAC of the
+// destinations onto N hot terminals. -trace-in replays a binary
+// spintrace-v1 file (see cmd/spintrace) through the streaming decoder —
+// constant memory regardless of trace length, and, unlike CSV -replay,
+// composable with -shards:
+//
+//	spinsim -topo mesh:8x8 -scheme spin -rate 0.4 -window 8 -think 16
+//	spinsim -topo mesh:8x8 -scheme spin -rate 0.2 -burst 16:48 -hotspot 0.2:2
+//	spinsim -topo mesh:8x8 -scheme spin -trace-in workload.spintrace -shards 4
 package main
 
 import (
@@ -47,6 +61,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
+	"repro/internal/workload"
 )
 
 // serialFlagsErr rejects flag combinations that need the serial engine:
@@ -83,6 +98,11 @@ func main() {
 		checkDir = flag.String("checkdir", ".", "directory for -check replay artifacts")
 		record   = flag.String("record", "", "record the injected workload to a CSV trace file")
 		replay   = flag.String("replay", "", "drive the run from a CSV trace file instead of -traffic")
+		traceIn  = flag.String("trace-in", "", "drive the run from a binary spintrace-v1 file (streamed; works with -shards)")
+		window   = flag.Int("window", 0, "closed-loop client window: max outstanding requests per terminal (0 = open loop)")
+		think    = flag.Int64("think", 0, "closed-loop mean think time in cycles after each reply (with -window)")
+		burst    = flag.String("burst", "", "on/off burst modulation as ON:OFF mean cycles, e.g. 16:48")
+		hotspot  = flag.String("hotspot", "", "hotspot skew as FRAC:N, e.g. 0.2:2 (20% of packets to 2 hot terminals)")
 		seeds    = flag.Int("seeds", 1, "replicate count: run the configuration under N derived seeds")
 		shards   = flag.Int("shards", 0, "spatial shards per simulation for the parallel cycle engine (0/1 = serial); never changes results")
 		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON of the run to this file (open in ui.perfetto.dev)")
@@ -152,10 +172,46 @@ func main() {
 		cfg.TDD = *tdd
 		cfg.Shards = *shards
 	}
+	var wspec workload.Spec
+	if *window > 0 {
+		wspec.Mode = "closed"
+		wspec.Window = *window
+		wspec.Think = *think
+	} else if *think != 0 {
+		log.Fatal("-think needs -window (closed-loop clients)")
+	}
+	if *burst != "" {
+		if _, err := fmt.Sscanf(*burst, "%d:%d", &wspec.BurstOn, &wspec.BurstOff); err != nil {
+			log.Fatalf("-burst wants ON:OFF mean cycles, got %q", *burst)
+		}
+	}
+	if *hotspot != "" {
+		if _, err := fmt.Sscanf(*hotspot, "%g:%d", &wspec.HotFrac, &wspec.Hotspots); err != nil {
+			log.Fatalf("-hotspot wants FRAC:N, got %q", *hotspot)
+		}
+	}
+	if err := wspec.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	shaped := *window > 0 || *burst != "" || *hotspot != ""
+	switch {
+	case shaped && (*replay != "" || *traceIn != ""):
+		log.Fatal("-window/-burst/-hotspot shape the synthetic source; they cannot combine with -replay/-trace-in")
+	case *traceIn != "" && (*replay != "" || *record != ""):
+		log.Fatal("-trace-in is incompatible with -replay/-record")
+	case *window > 0 && *record != "":
+		log.Fatal("-record captures an open-loop injection sequence; it cannot wrap closed-loop clients")
+	}
+	if wspec.Mode == "closed" && cfg.VNets < 2 {
+		cfg.VNets = 2 // replies need their own message class
+	}
 	telemetryOn := *traceOut != "" || *tsout != "" || *hist || *epoch != 0
 	if *seeds > 1 {
-		if *record != "" || *replay != "" || *drain {
-			log.Fatal("-seeds > 1 is incompatible with -record/-replay/-drain")
+		if *record != "" || *replay != "" || *traceIn != "" || *drain {
+			log.Fatal("-seeds > 1 is incompatible with -record/-replay/-trace-in/-drain")
+		}
+		if shaped {
+			log.Fatal("-seeds > 1 is incompatible with -window/-burst/-hotspot")
 		}
 		if telemetryOn {
 			log.Fatal("-seeds > 1 is incompatible with -trace/-tsout/-hist/-epoch")
@@ -166,15 +222,41 @@ func main() {
 	if err := serialFlagsErr(*record, *replay, *shards); err != nil {
 		log.Fatal(err)
 	}
-	if *replay != "" {
+	if *replay != "" || *traceIn != "" {
 		cfg.Traffic = "" // the trace drives injection
 	}
 	s, err := spin.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if shaped {
+		nc := s.Network().Config()
+		pat, err := traffic.ByName(cfg.Traffic, s.Topology())
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := workload.Build(wspec, pat, cfg.Rate, cfg.DataFrac, nc.VNets, s.Topology().NumTerminals(), nc.MaxPktLen, cfg.Seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Network().SetTraffic(gen)
+	}
 	var recorder *traffic.Recorder
+	var stream *traffic.StreamReplay
 	switch {
+	case *traceIn != "":
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tr, err := traffic.StreamTrace(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nc := s.Network().Config()
+		stream = traffic.NewStreamReplay(tr, s.Topology().NumTerminals(), nc.VNets, nc.MaxPktLen)
+		s.Network().SetTraffic(stream)
 	case *replay != "":
 		f, err := os.Open(*replay)
 		if err != nil {
@@ -218,6 +300,11 @@ func main() {
 	if err := runOne(ctx, s, *cycles, *timeout, *progress); err != nil {
 		log.Fatal(err)
 	}
+	if stream != nil {
+		if err := stream.Err(); err != nil {
+			log.Fatalf("trace stream: %v", err)
+		}
+	}
 	if recorder != nil {
 		f, err := os.Create(*record)
 		if err != nil {
@@ -250,6 +337,14 @@ func main() {
 	if cfg.Scheme == "spin" {
 		fmt.Printf("spin            spins=%d recoveries=%d probes=%d kill_moves=%d\n",
 			st.Spins, st.Counter("recoveries"), st.Counter("probes_sent"), st.Counter("kill_moves_sent"))
+	}
+	if cl, ok := s.Network().Config().Traffic.(*workload.ClosedLoop); ok {
+		achieved := float64(cl.Completed()) / float64(*cycles) / float64(s.Topology().NumTerminals())
+		fmt.Printf("closedloop      window=%d issued=%d completed=%d in_window=%d achieved=%.4f req/node/cycle\n",
+			cl.WindowLimit(), cl.Issued(), cl.Completed(), cl.InWindow(), achieved)
+	}
+	if stream != nil {
+		fmt.Printf("trace           %d packets streamed from %s\n", stream.Pumped(), *traceIn)
 	}
 	drained := true
 	if *drain {

@@ -8,6 +8,11 @@ import (
 	"testing"
 
 	spin "repro"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/workload"
 )
 
 var update = flag.Bool("update", false, "rewrite BENCH_sim.json from this machine's measurements")
@@ -110,6 +115,74 @@ func TestStepAllocBudget(t *testing.T) {
 				}
 				s.Run(8000)
 				if avg := testing.AllocsPerRun(300, func() { s.Run(1) }); avg != 0 {
+					t.Errorf("steady-state Step allocates %.4f objects/cycle, want 0", avg)
+				}
+			})
+		}
+	}
+}
+
+// TestStepAllocBudgetWorkloads extends the zero-alloc gate to the shaped
+// traffic generators: the closed-loop request/response clients (whose
+// reply queues and window accounting must reach a steady-state plateau
+// and then stop allocating) and the burst modulator. Same discipline as
+// TestStepAllocBudget: after warmup, Step allocates nothing.
+func TestStepAllocBudgetWorkloads(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	build := func(t *testing.T, shards int, closed bool) *sim.Network {
+		m, err := topology.NewMesh(8, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gen sim.TrafficGen
+		if closed {
+			cl, err := workload.NewClosedLoop(workload.ClosedLoopConfig{
+				Pattern: traffic.Uniform(64),
+				Window:  4,
+				Rate:    0.2,
+				Think:   8,
+				VNets:   2,
+				Seed:    17,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen = cl
+		} else {
+			gen = &workload.Burst{
+				Inner:   &traffic.Synthetic{Pattern: traffic.Uniform(64), Rate: 0.2, VNets: 2},
+				OnMean:  12,
+				OffMean: 36,
+			}
+		}
+		n, err := sim.NewNetwork(sim.Config{
+			Topology:   m,
+			Routing:    &routing.XY{Mesh: m},
+			Traffic:    gen,
+			VNets:      2,
+			VCsPerVNet: 2,
+			Shards:     shards,
+			Seed:       17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shards > 1 && n.Shards() != shards {
+			t.Fatalf("workload generator clamped to %d shards, want %d", n.Shards(), shards)
+		}
+		return n
+	}
+	for _, tc := range []struct {
+		name   string
+		closed bool
+	}{{"closedloop", true}, {"burst", false}} {
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/shards%d", tc.name, shards), func(t *testing.T) {
+				n := build(t, shards, tc.closed)
+				n.Run(8000)
+				if avg := testing.AllocsPerRun(300, func() { n.Run(1) }); avg != 0 {
 					t.Errorf("steady-state Step allocates %.4f objects/cycle, want 0", avg)
 				}
 			})

@@ -67,7 +67,7 @@ type SweepRequest struct {
 
 // SweepIDs lists the valid Fig names in canonical presentation order.
 func SweepIDs() []string {
-	return []string{"3", "6", "7", "8a", "8b", "9", "10", "costs", "torus", "deflection"}
+	return []string{"3", "6", "7", "8a", "8b", "9", "10", "costs", "torus", "deflection", "workload"}
 }
 
 // Validate reports whether the request names a runnable sweep.
@@ -168,6 +168,8 @@ func Sweep(ctx context.Context, fig string, o Options) (interface{}, error) {
 		return Torus(ctx, o)
 	case "deflection":
 		return Deflection(ctx, o)
+	case "workload":
+		return WorkloadSweep(ctx, o)
 	}
 	return nil, fmt.Errorf("exp: unknown figure %q", fig)
 }

@@ -54,6 +54,9 @@ func schemaSpecimens() []struct {
 		{"costs", &CostSummary{Rows: []CostRow{{Topology: "mesh", AreaSave1v3: 0.52, AreaSave1v2: 0.33, PowerSave1v3: 0.5}}}},
 		{"torus", &TorusComparison{Rates: []float64{0.05}, Bubble: []float64{20.1}, SPIN: []float64{18.3}}},
 		{"deflection", &DeflectionComparison{Rates: []float64{0.05}, Deflection: []float64{9.1}, Buffered: []float64{10.2}, AvgDeflect: []float64{0.4}}},
+		{"workload", &WorkloadSweepResult{Topology: "mesh:4x4", Window: 8, Points: []WorkloadPoint{
+			{Offered: 0.3, Achieved: 0.21, AvgLat: 24.5, P50: 18, P99: 96},
+		}}},
 	}
 }
 

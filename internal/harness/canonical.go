@@ -2,9 +2,12 @@ package harness
 
 import (
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/traffic"
 )
 
 // This file is the request ⇄ Scenario round-trip used by the serving
@@ -39,14 +42,20 @@ func (sc Scenario) Validate() error {
 	switch {
 	case sc.Topology == "":
 		return fmt.Errorf("harness: scenario needs a topology")
-	case sc.Traffic == "" && len(sc.Injections) == 0:
-		return fmt.Errorf("harness: scenario needs a traffic pattern or injections")
+	case sc.Traffic == "" && len(sc.Injections) == 0 && sc.TraceB64 == "":
+		return fmt.Errorf("harness: scenario needs a traffic pattern, injections, or a trace")
 	case sc.Traffic != "" && len(sc.Injections) > 0:
 		return fmt.Errorf("harness: traffic %q and explicit injections are mutually exclusive", sc.Traffic)
+	case sc.TraceB64 != "" && (sc.Traffic != "" || len(sc.Injections) > 0 || sc.Workload != nil):
+		return fmt.Errorf("harness: trace_b64 is mutually exclusive with traffic, injections, and workload")
+	case sc.Workload != nil && sc.Traffic == "":
+		return fmt.Errorf("harness: workload shaping needs a traffic pattern")
+	case sc.Workload != nil && len(sc.Injections) > 0:
+		return fmt.Errorf("harness: workload shaping and explicit injections are mutually exclusive")
 	case sc.Traffic != "" && sc.Rate <= 0:
 		return fmt.Errorf("harness: rate must be > 0, got %g", sc.Rate)
 	case sc.Traffic == "" && sc.Rate != 0:
-		return fmt.Errorf("harness: rate %g is meaningless with explicit injections", sc.Rate)
+		return fmt.Errorf("harness: rate %g is meaningless without a traffic pattern", sc.Rate)
 	case sc.Cycles <= 0:
 		return fmt.Errorf("harness: cycles must be > 0, got %d", sc.Cycles)
 	case sc.DataFrac < 0 || sc.DataFrac > 1:
@@ -66,6 +75,26 @@ func (sc Scenario) Validate() error {
 	case "", "none", "no_probe":
 	default:
 		return fmt.Errorf("harness: unknown mutation %q (want none or no_probe)", sc.Mutation)
+	}
+	if sc.Workload != nil {
+		if err := sc.Workload.Validate(); err != nil {
+			return fmt.Errorf("harness: %w", err)
+		}
+		if sc.Workload.Mode == "closed" && sc.VNets == 1 {
+			return fmt.Errorf("harness: closed-loop workload needs vnets >= 2 (requests and replies ride separate classes), got 1")
+		}
+	}
+	if sc.TraceB64 != "" {
+		raw, err := base64.StdEncoding.DecodeString(sc.TraceB64)
+		if err != nil {
+			return fmt.Errorf("harness: trace_b64 is not valid base64: %w", err)
+		}
+		// Full structural validation (magic, chunk CRCs, field bounds)
+		// happens against the decoded stream; rejecting a corrupt trace
+		// here keeps it out of the content-addressed cache entirely.
+		if _, err := traffic.DecodeTrace(bytes.NewReader(raw)); err != nil {
+			return fmt.Errorf("harness: trace_b64: %w", err)
+		}
 	}
 	for i, inj := range sc.Injections {
 		switch {
@@ -97,6 +126,21 @@ func (sc Scenario) Normalized() Scenario {
 	if sc.Scheme == "none" {
 		sc.Scheme = "" // spin.New treats "none" and "" alike
 	}
+	if sc.Workload != nil {
+		// Normalize the workload block the same way Build does, and drop
+		// a block that is all defaults — it shapes nothing, so the plain
+		// synthetic scenario must hash identically.
+		w := *sc.Workload
+		w.Normalize()
+		if w.IsZero() {
+			sc.Workload = nil
+		} else {
+			sc.Workload = &w
+		}
+	}
+	if sc.closedLoop() && sc.VNets == 0 {
+		sc.VNets = 2 // reply class; mirrors Scenario.Config
+	}
 	if sc.VNets == 0 {
 		sc.VNets = 1
 	}
@@ -107,9 +151,13 @@ func (sc Scenario) Normalized() Scenario {
 		sc.VCDepth = 5
 	}
 	if sc.Traffic == "" {
-		// Explicit injections: no synthetic generator exists, so its
-		// knobs are cleared instead of defaulted.
+		// Explicit injections or a replayed trace: no synthetic generator
+		// exists, so its knobs are cleared instead of defaulted.
 		sc.Rate, sc.DataFrac = 0, 0
+	} else if sc.closedLoop() {
+		// Closed-loop clients fix packet lengths via req_len/resp_len;
+		// the open-loop long-packet mix knob is unused.
+		sc.DataFrac = 0
 	} else if sc.DataFrac == 0 {
 		sc.DataFrac = 0.5 // traffic.Synthetic's default long-packet mix
 	}

@@ -1,6 +1,10 @@
 package harness
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/workload"
+)
 
 // The generator's job is to emit only *valid* scenarios — combinations
 // the simulator accepts and that are deadlock-free by construction
@@ -149,6 +153,70 @@ func FromBits(topoSel, routeSel, patSel, vcs, vnets uint8, ratePct uint16, seed 
 		sc.Cycles = 200
 		sc.VNets = 1
 	}
+	return sc
+}
+
+// GenerateWorkload draws a random valid scenario carrying a shaped
+// workload block — closed-loop finite-window clients, bursty on/off
+// sources, or hotspot skew — on top of Generate's topology/routing
+// space. Like Generate, the same rng state always yields the same
+// scenario, so a seed range is a fixed corpus.
+func GenerateWorkload(rng *rand.Rand) Scenario {
+	sc := Generate(rng)
+	w := &workload.Spec{}
+	switch rng.Intn(3) {
+	case 0: // closed-loop request/response clients
+		w.Mode = "closed"
+		w.Window = 1 + rng.Intn(8)
+		w.ReqLen = 1
+		w.RespLen = 1 + rng.Intn(5)
+		if rng.Intn(2) == 0 {
+			w.Think = int64(1 + rng.Intn(16))
+		}
+		if sc.VNets < 2 {
+			sc.VNets = 2 // reply class
+		}
+	case 1: // bursty open-loop
+		w.BurstOn = int64(4 + rng.Intn(28))
+		w.BurstOff = int64(4 + rng.Intn(60))
+		// Build compensates the rate by the duty cycle, so trim the base
+		// rate to keep in-burst injection below the hard clamp.
+		sc.Rate = 0.05 + 0.15*rng.Float64()
+	case 2: // hotspot skew
+		w.HotFrac = 0.05 + 0.3*rng.Float64()
+		w.Hotspots = 1 + rng.Intn(2)
+	}
+	sc.Workload = w
+	return sc
+}
+
+// WorkloadFromBits layers a fuzzer-chosen workload block onto a base
+// scenario, clamping every knob into its legal range the same way
+// FromBits does. The mapping is total: every input yields a runnable
+// scenario.
+func WorkloadFromBits(sc Scenario, mode, wa, wb, wc uint8) Scenario {
+	w := &workload.Spec{}
+	switch mode % 3 {
+	case 0:
+		w.Mode = "closed"
+		w.Window = 1 + int(wa)%8
+		w.ReqLen = 1
+		w.RespLen = 1 + int(wb)%5
+		w.Think = int64(wc) % 17
+		if sc.VNets < 2 {
+			sc.VNets = 2
+		}
+	case 1:
+		w.BurstOn = 2 + int64(wa)%30
+		w.BurstOff = 2 + int64(wb)%62
+		if sc.Rate > 0.25 {
+			sc.Rate = 0.25
+		}
+	case 2:
+		w.HotFrac = float64(1+int(wa)%40) / 100
+		w.Hotspots = 1 + int(wb)%2
+	}
+	sc.Workload = w
 	return sc
 }
 

@@ -97,6 +97,41 @@ func TestRandomScenarios(t *testing.T) {
 	}
 }
 
+func TestGenerateWorkloadProducesValidScenarios(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 300; seed++ {
+		sc := GenerateWorkload(rand.New(rand.NewSource(seed)))
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d generated invalid scenario %s: %v", seed, sc, err)
+		}
+		if _, err := sc.Sim(); err != nil {
+			t.Fatalf("seed %d generated unbuildable scenario %s: %v", seed, sc, err)
+		}
+	}
+}
+
+// TestWorkloadScenarios extends the acceptance corpus with 200 shaped
+// workloads — closed-loop, bursty, hotspot — each run under the full
+// invariant checker (including the window rules) and drained to empty.
+func TestWorkloadScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus run is not short")
+	}
+	for seed := int64(1); seed <= 200; seed++ {
+		sc := GenerateWorkload(rand.New(rand.NewSource(1000 + seed)))
+		t.Run(fmt.Sprintf("%03d/%s", seed, sc), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed() {
+				t.Fatal(ReportFailure(artifactDir(), res))
+			}
+		})
+	}
+}
+
 // mismatchViolations folds differential delivery mismatches into checker
 // violations so they land in the artifact.
 func mismatchViolations(d *DiffResult) []sim.Violation {

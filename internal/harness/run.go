@@ -6,6 +6,7 @@ import (
 	spin "repro"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/traffic"
 )
 
 // Result is the outcome of one checked scenario execution.
@@ -121,6 +122,29 @@ func runChecked(sc Scenario, s *spin.Simulation) (*Result, error) {
 	s.Run(sc.Cycles)
 	res.Drained = s.Drain(sc.drainBudget())
 	res.Violations = checker.Violations()
+	if wt, ok := net.Config().Traffic.(sim.WindowedTraffic); ok {
+		// Zero in-window residue after drain: every request the closed
+		// loop issued was retired by its reply.
+		if left := wt.InWindow(); res.Drained && left != 0 {
+			res.Violations = append(res.Violations, sim.Violation{
+				Rule:   sim.RuleWindow,
+				Cycle:  net.Now(),
+				Detail: fmt.Sprintf("drain completed with %d requests still in window", left),
+			})
+		}
+		if err := wt.AuditWindows(); err != nil {
+			res.Violations = append(res.Violations, sim.Violation{
+				Rule:   sim.RuleWindow,
+				Cycle:  net.Now(),
+				Detail: err.Error(),
+			})
+		}
+	}
+	if sr, ok := net.Config().Traffic.(*traffic.StreamReplay); ok {
+		if err := sr.Err(); err != nil {
+			return nil, fmt.Errorf("harness: trace stream: %w", err)
+		}
+	}
 	res.Trace = rec.Events()
 	res.Injected = net.Stats().Injected
 	res.Ejected = net.Stats().Ejected

@@ -12,6 +12,8 @@
 package harness
 
 import (
+	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -19,6 +21,7 @@ import (
 	spin "repro"
 	spinimpl "repro/internal/spin"
 	"repro/internal/traffic"
+	"repro/internal/workload"
 )
 
 // Scenario is a compact, serializable simulator configuration — the unit
@@ -58,6 +61,19 @@ type Scenario struct {
 	// be empty and Rate zero; the model checker's counterexample replays
 	// (internal/mc, cmd/spinmc) are built on this.
 	Injections []Injection `json:"injections,omitempty"`
+
+	// Workload shapes the synthetic traffic beyond the plain Bernoulli
+	// source: closed-loop finite-window clients, on/off bursts, hotspot
+	// skew (see internal/workload.Spec). Requires Traffic; mutually
+	// exclusive with Injections and TraceB64.
+	Workload *workload.Spec `json:"workload,omitempty"`
+
+	// TraceB64 carries a spintrace-v1 binary trace (base64, standard
+	// encoding) replayed through traffic.StreamReplay. The bytes are part
+	// of the canonical encoding, so the service cache key is content-
+	// addressed over the trace itself. Mutually exclusive with Traffic,
+	// Injections, and Workload; Rate must be zero.
+	TraceB64 string `json:"trace_b64,omitempty"`
 	// Mutation injects a deliberate protocol defect for counterexample
 	// replay: "" (or "none") is the faithful protocol, "no_probe"
 	// disables SPIN's detection/probe phase (spin.Config.SPIN.
@@ -74,11 +90,28 @@ type Injection struct {
 	VNet   int   `json:"vnet"`
 }
 
+// maxPktLen is the engine's packet-length cap (sim.Config.MaxPktLen
+// default), the bound trace entries and workload packet lengths must
+// respect.
+const maxPktLen = 5
+
+// closedLoop reports whether the scenario carries a closed-loop
+// workload block.
+func (sc Scenario) closedLoop() bool {
+	return sc.Workload != nil && sc.Workload.Mode == "closed"
+}
+
 // Config translates the scenario into a top-level simulation config.
 func (sc Scenario) Config() spin.Config {
 	var impl spinimpl.Config
 	if sc.Mutation == "no_probe" {
 		impl.DisableProbe = true
+	}
+	if sc.closedLoop() && sc.VNets == 0 {
+		// Closed-loop traffic needs a second vnet for the reply class;
+		// Normalized applies the same default so canonical scenarios
+		// simulate identically to shorthand ones.
+		sc.VNets = 2
 	}
 	return spin.Config{
 		SPIN:       impl,
@@ -119,9 +152,20 @@ func FromConfig(cfg spin.Config, cycles int64) Scenario {
 }
 
 // Sim builds the runnable simulation for the scenario, attaching the
-// exact-injection workload when the scenario carries one.
-func (sc Scenario) Sim() (*spin.Simulation, error) {
-	s, err := spin.New(sc.Config())
+// exact-injection, streamed-trace, or shaped-workload traffic when the
+// scenario carries one.
+func (sc Scenario) Sim() (*spin.Simulation, error) { return sc.SimShards(0) }
+
+// SimShards is Sim with an explicit engine shard count — an execution
+// knob, not part of the scenario (it never affects results or cache
+// keys). The serving path uses it to run canonical scenarios on its
+// configured shard budget.
+func (sc Scenario) SimShards(shards int) (*spin.Simulation, error) {
+	cfg := sc.Config()
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+	s, err := spin.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +182,34 @@ func (sc Scenario) Sim() (*spin.Simulation, error) {
 			return nil, err
 		}
 		s.Network().SetTraffic(&traffic.Replay{Trace: tr})
+	}
+	if sc.TraceB64 != "" {
+		raw, err := base64.StdEncoding.DecodeString(sc.TraceB64)
+		if err != nil {
+			return nil, fmt.Errorf("harness: trace_b64: %w", err)
+		}
+		tr, err := traffic.StreamTrace(bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		vnets := s.Network().Config().VNets
+		s.Network().SetTraffic(traffic.NewStreamReplay(tr, s.Topology().NumTerminals(), vnets, maxPktLen))
+	}
+	if sc.Workload != nil {
+		w := *sc.Workload
+		w.Normalize()
+		if !w.IsZero() {
+			pat, err := traffic.ByName(sc.Traffic, s.Topology())
+			if err != nil {
+				return nil, err
+			}
+			vnets := s.Network().Config().VNets
+			gen, err := workload.Build(w, pat, sc.Rate, sc.DataFrac, vnets, s.Topology().NumTerminals(), maxPktLen, sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			s.Network().SetTraffic(gen)
+		}
 	}
 	return s, nil
 }

@@ -26,7 +26,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	spin "repro"
 	"repro/internal/cache"
 	"repro/internal/exp"
 	"repro/internal/fleet"
@@ -39,7 +38,7 @@ import (
 // in every cache key, so bumping it invalidates all previously stored
 // results. Bump it whenever simulator behaviour or a response/result
 // schema changes (see internal/exp's golden schema test).
-const ResultVersion = "spin-results-v1"
+const ResultVersion = "spin-results-v2"
 
 // Config assembles a Server.
 type Config struct {
@@ -692,9 +691,10 @@ func (s *Server) runSimulation(ctx context.Context, req SimRequest, key string) 
 func (s *Server) runSim(ctx context.Context, req SimRequest, key string, streamWindow int64, onSample func(sim.WindowSample)) ([]byte, error) {
 	start := time.Now()
 	sc := req.Scenario
-	cfg := sc.Config()
-	cfg.Shards = s.shardsEff // execution knob: never in the cache key
-	simulation, err := spin.New(cfg)
+	// SimShards attaches whatever traffic source the scenario carries —
+	// synthetic, shaped workload, explicit injections, or a streamed
+	// binary trace. Shard count is an execution knob: never in the key.
+	simulation, err := sc.SimShards(s.shardsEff)
 	if err != nil {
 		// The specs parsed as JSON but name unknown topologies/routings:
 		// the client's fault, not the server's.

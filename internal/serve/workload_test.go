@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// closedScenario is a closed-loop client scenario sized for test latency.
+const closedScenario = `{"topology":"mesh:4x4","routing":"min_adaptive","scheme":"spin","traffic":"uniform_random","rate":0.3,"cycles":800,"seed":3,"workload":{"mode":"closed","window":4,"req_len":1,"resp_len":1,"think":4}}`
+
+// TestSimulateWorkloadShardInvariant pins the serving half of the
+// closed-loop determinism contract: the same workload scenario, executed
+// on servers configured with different engine shard counts, renders
+// byte-identical response bodies (and therefore identical cache
+// entries).
+func TestSimulateWorkloadShardInvariant(t *testing.T) {
+	bodies := make([][]byte, 0, 2)
+	for _, shards := range []int{1, 4} {
+		s := newTestServer(t, Config{Workers: 1, Shards: shards})
+		rec := post(t, s.Handler(), "/v1/simulate", closedScenario)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("shards=%d: status %d, body %s", shards, rec.Code, rec.Body)
+		}
+		var resp SimResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Stats.Injected == 0 || resp.Stats.Ejected == 0 {
+			t.Fatalf("shards=%d: closed loop moved no traffic: %+v", shards, resp.Stats)
+		}
+		if resp.Request.VNets < 2 {
+			t.Fatalf("shards=%d: normalization did not reserve a reply vnet: %+v", shards, resp.Request)
+		}
+		bodies = append(bodies, rec.Body.Bytes())
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatal("workload response bytes differ between shard counts")
+	}
+}
+
+// testTraceB64 encodes a small spintrace-v1 workload for trace-replay
+// requests. Seed varies the destinations so different seeds yield
+// different trace bytes, hence different content addresses.
+func testTraceB64(t *testing.T, entries int, seed int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := traffic.NewTraceWriter(&buf)
+	for i := 0; i < entries; i++ {
+		src := i % 16
+		dst := (src + 1 + (i+seed)%15) % 16
+		if dst == src {
+			dst = (dst + 1) % 16
+		}
+		e := traffic.TraceEntry{Cycle: int64(i / 4), Src: src, Dst: dst, Length: 1 + i%5, VNet: 0}
+		if err := tw.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return base64.StdEncoding.EncodeToString(buf.Bytes())
+}
+
+// TestSimulateTraceContentAddressed checks the trace-replay request
+// path: a binary trace uploaded through /v1/simulate runs (miss),
+// replays byte-identically from the cache (hit), and a different trace
+// — same everything else — lands on a different content address.
+func TestSimulateTraceContentAddressed(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Workers: 1})
+	body := func(seed int) string {
+		return fmt.Sprintf(`{"topology":"mesh:4x4","routing":"min_adaptive","scheme":"spin","traffic":"","rate":0,"cycles":400,"drain_cycles":4000,"seed":9,"trace_b64":%q}`, testTraceB64(t, 64, seed))
+	}
+	first := post(t, s.Handler(), "/v1/simulate", body(0))
+	if first.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", first.Code, first.Body)
+	}
+	if got := first.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("X-Cache = %q, want miss", got)
+	}
+	var resp SimResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.Injected != 64 {
+		t.Fatalf("replayed %d packets, want 64", resp.Stats.Injected)
+	}
+	if resp.Stats.Drained == nil || !*resp.Stats.Drained {
+		t.Fatalf("trace replay did not drain: %+v", resp.Stats)
+	}
+
+	second := post(t, s.Handler(), "/v1/simulate", body(0))
+	if got := second.Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("repeat X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("trace cache hit is not byte-identical")
+	}
+
+	other := post(t, s.Handler(), "/v1/simulate", body(7))
+	if got := other.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("different trace X-Cache = %q, want miss", got)
+	}
+	if other.Header().Get("X-Cache-Key") == first.Header().Get("X-Cache-Key") {
+		t.Fatal("different trace bytes mapped to the same content address")
+	}
+}
+
+// TestSimulateRejectsCorruptTrace checks that a bit-flipped trace is
+// rejected at validation time with a 4xx, before any cache interaction.
+func TestSimulateRejectsCorruptTrace(t *testing.T) {
+	s := newTestServer(t, Config{})
+	good := testTraceB64(t, 32, 0)
+	raw, err := base64.StdEncoding.DecodeString(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	corrupt := base64.StdEncoding.EncodeToString(raw)
+	rec := post(t, s.Handler(), "/v1/simulate",
+		fmt.Sprintf(`{"topology":"mesh:4x4","routing":"min_adaptive","scheme":"spin","traffic":"","rate":0,"cycles":100,"seed":1,"trace_b64":%q}`, corrupt))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("corrupt trace: status %d, want 400 (body %s)", rec.Code, rec.Body)
+	}
+}

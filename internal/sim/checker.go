@@ -35,6 +35,7 @@ const (
 	RuleHopBound      = "hop_bound"      // packet took more hops than the routing bound allows
 	RuleProgress      = "progress"       // a VC's front flit made no progress for StallBound cycles
 	RuleRecovery      = "recovery_bound" // oracle-visible deadlock outlived RecoveryBound cycles
+	RuleWindow        = "window"         // closed-loop window accounting broken (outstanding outside [0,W], unmatched reply, drain residue)
 )
 
 // CheckOptions configures an InvariantChecker. The zero value enables the
@@ -119,6 +120,10 @@ type InvariantChecker struct {
 
 	maxStall int64 // longest no-progress interval observed on any VC
 	maxSpell int64 // longest continuous oracle-deadlock spell observed
+
+	// windowAuditReported dedupes the sticky AuditWindows error — the
+	// generator repeats its first failure forever, one report suffices.
+	windowAuditReported bool
 }
 
 func newChecker(n *Network, opt CheckOptions) *InvariantChecker {
@@ -210,6 +215,9 @@ func (c *InvariantChecker) report(rule, format string, args ...any) {
 func (c *InvariantChecker) endOfStep() {
 	if c.net.now%c.opt.Every == 0 {
 		c.sweep()
+		if wt, ok := c.net.cfg.Traffic.(WindowedTraffic); ok {
+			c.checkWindows(wt)
+		}
 	}
 	if c.opt.StallBound > 0 {
 		c.checkProgress()
@@ -330,6 +338,24 @@ func (c *InvariantChecker) onEject(p *Packet) {
 	c.delivered[p.ID] = struct{}{}
 	if bound := 2*c.diameter + c.opt.HopSlack; p.Hops-2*p.Misroutes > bound {
 		c.report(RuleHopBound, "packet %d took %d hops with %d misroutes (bound %d, diameter %d)", p.ID, p.Hops, p.Misroutes, bound, c.diameter)
+	}
+}
+
+// checkWindows audits a closed-loop generator's finite-window contract:
+// every terminal's outstanding count stays within [0, W], and the
+// generator's own request/reply bookkeeping balances (a reply that
+// matches no issued request, or completions exceeding issues, surfaces
+// through AuditWindows). Runs on the sweep cadence.
+func (c *InvariantChecker) checkWindows(wt WindowedTraffic) {
+	w := wt.WindowLimit()
+	for t := range c.net.nics {
+		if o := wt.Outstanding(t); o < 0 || o > w {
+			c.report(RuleWindow, "terminal %d has %d outstanding requests, window %d", t, o, w)
+		}
+	}
+	if err := wt.AuditWindows(); err != nil && !c.windowAuditReported {
+		c.windowAuditReported = true
+		c.report(RuleWindow, "%v", err)
 	}
 }
 

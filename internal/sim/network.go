@@ -20,6 +20,49 @@ type TrafficGen interface {
 	Generate(cycle int64, src int, rng *rand.Rand, emit func(PacketSpec))
 }
 
+// TrafficStepper is an optional TrafficGen extension: StepTraffic runs
+// serially at the top of every Step, before the parallel phases. It is
+// the place for work that must see the whole generator — pumping a
+// streaming trace into per-source queues, advancing a global arrival
+// process — while Generate stays shard-safe and source-local.
+type TrafficStepper interface {
+	StepTraffic(now int64)
+}
+
+// TrafficEjectObserver is an optional TrafficGen extension: OnEject is
+// called for every ejected packet during the serial commit, in
+// deterministic shard-major order. Closed-loop generators use it to
+// retire outstanding requests and queue replies. The *Packet is only
+// valid for the duration of the call — the engine may recycle it.
+type TrafficEjectObserver interface {
+	OnEject(p *Packet)
+}
+
+// TrafficQuiescer is an optional TrafficGen extension for generators
+// with internal obligations (pending replies). During Drain the engine
+// normally detaches traffic entirely; a quiescer instead stays attached
+// with Quiesce(true) — it must stop sourcing new work but keep meeting
+// obligations so the network can reach a truly empty state.
+type TrafficQuiescer interface {
+	Quiesce(on bool)
+}
+
+// WindowedTraffic is implemented by closed-loop generators with finite
+// request windows. The invariant checker audits these accessors every
+// sweep, and Drain does not report success while InWindow is nonzero.
+type WindowedTraffic interface {
+	// WindowLimit is W, the per-terminal outstanding-request cap.
+	WindowLimit() int
+	// Outstanding reports terminal t's current in-window requests.
+	Outstanding(t int) int
+	// InWindow reports the total outstanding requests across terminals.
+	InWindow() int64
+	// AuditWindows returns the first internal accounting violation the
+	// generator has detected (a reply without a matching issued
+	// request, completions exceeding issues), or nil.
+	AuditWindows() error
+}
+
 // Config assembles a simulation.
 type Config struct {
 	Topology topology.Topology
@@ -144,6 +187,11 @@ type Network struct {
 	// ejectHook, when set, observes every ejected packet (tests, traces).
 	ejectHook func(*Packet)
 
+	// trafStep/trafObs cache the traffic generator's optional hooks so
+	// the hot path pays a nil check, not a type assertion, per cycle.
+	trafStep TrafficStepper
+	trafObs  TrafficEjectObserver
+
 	// checker, when attached, audits the network's invariants every
 	// cycle (see checker.go).
 	checker *InvariantChecker
@@ -195,6 +243,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if tp, ok := cfg.Traffic.(TrafficPrep); ok {
 		tp.PrepareTerminals(len(n.nics))
 	}
+	n.trafStep, _ = cfg.Traffic.(TrafficStepper)
+	n.trafObs, _ = cfg.Traffic.(TrafficEjectObserver)
 	if cfg.Scheme != nil {
 		cfg.Scheme.Attach(n)
 	}
@@ -431,6 +481,9 @@ func (n *Network) inject(s *shardState, src int, spec PacketSpec, pooled bool) *
 // Step advances the simulation by one cycle: two parallel phases over the
 // shards, then the serial commit (see shard.go).
 func (n *Network) Step() {
+	if n.trafStep != nil && n.cfg.Traffic != nil {
+		n.trafStep.StepTraffic(n.now)
+	}
 	n.runParallel(n.p1fns)
 	n.runParallel(n.p2fns)
 	n.commit()
@@ -455,17 +508,35 @@ func (n *Network) Run(cycles int64) {
 // Drain disables traffic and steps until the network is empty (all queued
 // and in-flight packets ejected) or maxCycles elapse. It reports whether
 // the network fully drained — the strongest liveness check available.
+//
+// A TrafficQuiescer (closed-loop generators with reply obligations)
+// stays attached in quiesce mode instead of being detached: new requests
+// stop, pending replies keep flowing, and the drain additionally waits
+// for the request window to empty (zero in-window residue).
 func (n *Network) Drain(maxCycles int64) bool {
 	saved := n.cfg.Traffic
-	n.cfg.Traffic = nil
-	defer func() { n.cfg.Traffic = saved }()
+	var wt WindowedTraffic
+	if q, ok := saved.(TrafficQuiescer); ok {
+		q.Quiesce(true)
+		defer q.Quiesce(false)
+		wt, _ = saved.(WindowedTraffic)
+	} else {
+		n.cfg.Traffic = nil
+		defer func() { n.cfg.Traffic = saved }()
+	}
+	empty := func() bool {
+		if n.inNetwork != 0 || n.QueuedPackets() != 0 {
+			return false
+		}
+		return wt == nil || wt.InWindow() == 0
+	}
 	for i := int64(0); i < maxCycles; i++ {
-		if n.inNetwork == 0 && n.QueuedPackets() == 0 {
+		if empty() {
 			return true
 		}
 		n.Step()
 	}
-	return n.inNetwork == 0 && n.QueuedPackets() == 0
+	return empty()
 }
 
 // LinkUtilisation aggregates the per-link busy accounting over the
@@ -508,4 +579,6 @@ func (n *Network) SetTraffic(g TrafficGen) {
 		tp.PrepareTerminals(len(n.nics))
 	}
 	n.cfg.Traffic = g
+	n.trafStep, _ = g.(TrafficStepper)
+	n.trafObs, _ = g.(TrafficEjectObserver)
 }

@@ -359,7 +359,7 @@ func (s *shardState) ejected(f Flit) {
 			s.stats.MaxLatency = lat
 		}
 	}
-	if n.tele != nil || n.ejectHook != nil || n.checker != nil || p.pooled {
+	if n.tele != nil || n.ejectHook != nil || n.checker != nil || n.trafObs != nil || p.pooled {
 		s.ejects = append(s.ejects, ejectRec{p: p, lat: p.EjectCycle - p.GenCycle, measured: measured})
 	}
 }
@@ -478,6 +478,11 @@ func (n *Network) commit() {
 			}
 			if n.ejectHook != nil {
 				n.ejectHook(p)
+			}
+			if n.trafObs != nil {
+				// Closed-loop accounting: the observer must not retain p
+				// (it may be recycled below), so recycling stays legal.
+				n.trafObs.OnEject(p)
 			}
 			if n.checker != nil {
 				n.checker.onEject(p)

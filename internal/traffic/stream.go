@@ -1,0 +1,155 @@
+package traffic
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// StreamReplay replays a spintrace-v1 stream through the simulator
+// without ever holding the trace in memory. It implements the
+// sim.TrafficStepper split: StepTraffic (serial, once per cycle) pumps
+// the entries that have come due into per-source queues, and Generate
+// (parallel, per terminal) drains only its own source's queue — so
+// streaming replay composes with the sharded engine instead of clamping
+// it to one shard the way the legacy map-based Replay did.
+//
+// Memory is bounded by one decoder chunk plus the entries due in the
+// current cycle, independent of trace length.
+type StreamReplay struct {
+	r *TraceReader
+
+	// Validation bounds; entries outside them poison the replay with a
+	// descriptive error instead of panicking inside the injector.
+	terminals int
+	vnets     int
+	maxLen    int
+
+	queues    [][]TraceEntry // entries due this cycle, per source
+	next      TraceEntry     // lookahead: first entry not yet due
+	nextValid bool
+	eof       bool
+	err       error
+	pumped    int64
+}
+
+// NewStreamReplay wraps an open TraceReader. The bounds mirror
+// Trace.Validate: terminals and vnets from the simulated configuration,
+// maxLen from Config.MaxPktLen.
+func NewStreamReplay(r *TraceReader, terminals, vnets, maxLen int) *StreamReplay {
+	return &StreamReplay{r: r, terminals: terminals, vnets: vnets, maxLen: maxLen}
+}
+
+// Name implements sim.TrafficGen.
+func (s *StreamReplay) Name() string { return "trace_stream" }
+
+// RequiresSerialStep implements sim.SerialOnly: streaming replay is
+// shard-safe by construction.
+func (s *StreamReplay) RequiresSerialStep() bool { return false }
+
+// PrepareTerminals implements sim.TrafficPrep.
+func (s *StreamReplay) PrepareTerminals(n int) {
+	if s.terminals == 0 {
+		s.terminals = n
+	}
+	if n < s.terminals {
+		n = s.terminals
+	}
+	s.queues = make([][]TraceEntry, n)
+}
+
+func (s *StreamReplay) check(e TraceEntry) error {
+	switch {
+	case e.Src < 0 || e.Src >= s.terminals:
+		return fmt.Errorf("traffic: trace entry %d: src %d outside [0,%d)", s.pumped, e.Src, s.terminals)
+	case e.Dst < 0 || e.Dst >= s.terminals:
+		return fmt.Errorf("traffic: trace entry %d: dst %d outside [0,%d)", s.pumped, e.Dst, s.terminals)
+	case e.Src == e.Dst:
+		return fmt.Errorf("traffic: trace entry %d: self-destined packet at node %d", s.pumped, e.Src)
+	case e.Length <= 0 || e.Length > s.maxLen:
+		return fmt.Errorf("traffic: trace entry %d: length %d outside (0,%d]", s.pumped, e.Length, s.maxLen)
+	case e.VNet < 0 || e.VNet >= s.vnets:
+		return fmt.Errorf("traffic: trace entry %d: vnet %d outside [0,%d)", s.pumped, e.VNet, s.vnets)
+	}
+	return nil
+}
+
+// StepTraffic implements sim.TrafficStepper: advance the stream up to
+// cycle now, queueing every entry that has come due. Runs serially
+// before the parallel phases, so the per-source appends never race with
+// Generate.
+func (s *StreamReplay) StepTraffic(now int64) {
+	if s.err != nil || s.queues == nil {
+		return
+	}
+	for {
+		if !s.nextValid {
+			if s.eof {
+				return
+			}
+			e, err := s.r.Next()
+			if err == io.EOF {
+				s.eof = true
+				return
+			}
+			if err != nil {
+				s.err = err
+				s.eof = true
+				return
+			}
+			if err := s.check(e); err != nil {
+				s.err = err
+				s.eof = true
+				return
+			}
+			s.next = e
+			s.nextValid = true
+		}
+		if s.next.Cycle > now {
+			return
+		}
+		s.queues[s.next.Src] = append(s.queues[s.next.Src], s.next)
+		s.nextValid = false
+		s.pumped++
+	}
+}
+
+// Generate implements sim.TrafficGen, draining this source's due
+// entries. Each queue is filled serially in StepTraffic and emptied
+// here, so steady-state replay does not allocate.
+func (s *StreamReplay) Generate(_ int64, src int, _ *rand.Rand, emit func(sim.PacketSpec)) {
+	if src < 0 || src >= len(s.queues) {
+		return
+	}
+	q := s.queues[src]
+	if len(q) == 0 {
+		return
+	}
+	for _, e := range q {
+		emit(sim.PacketSpec{Dst: e.Dst, Length: e.Length, VNet: e.VNet})
+	}
+	s.queues[src] = q[:0]
+}
+
+// Err reports the first decode or validation failure; replay halts at
+// the failing entry rather than injecting garbage.
+func (s *StreamReplay) Err() error { return s.err }
+
+// Done reports whether the stream is exhausted and every queued entry
+// has been injected.
+func (s *StreamReplay) Done() bool {
+	if !s.eof || s.nextValid {
+		return false
+	}
+	for _, q := range s.queues {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Pumped reports how many entries have been queued for injection.
+func (s *StreamReplay) Pumped() int64 { return s.pumped }

@@ -101,25 +101,51 @@ func (t *Trace) Validate(terminals, vnets, maxLen int) error {
 }
 
 // Replay implements sim.TrafficGen by injecting the trace's packets at
-// their recorded cycles.
+// their recorded cycles. The trace is partitioned into per-source
+// cursor lists up front (PrepareTerminals, called by the simulator when
+// traffic is attached), so Generate touches only source-local state and
+// the replay composes with the sharded engine — each shard advances its
+// own terminals' cursors with no shared writes.
 type Replay struct {
 	Trace *Trace
-	// next[src] indexes the next entry per source; built lazily.
-	bySrc map[int][]TraceEntry
-	next  map[int]int
+	// bySrc[src] holds that source's entries in trace order; next[src]
+	// indexes its next un-injected entry.
+	bySrc [][]TraceEntry
+	next  []int
 }
 
 // Name implements sim.TrafficGen.
 func (r *Replay) Name() string { return "trace_replay" }
 
+// RequiresSerialStep implements sim.SerialOnly: replay is shard-safe.
+func (r *Replay) RequiresSerialStep() bool { return false }
+
+// PrepareTerminals implements sim.TrafficPrep, partitioning the trace
+// by source before the first cycle.
+func (r *Replay) PrepareTerminals(n int) {
+	for _, e := range r.Trace.Entries {
+		if e.Src >= n {
+			n = e.Src + 1
+		}
+	}
+	r.bySrc = make([][]TraceEntry, n)
+	r.next = make([]int, n)
+	for _, e := range r.Trace.Entries {
+		if e.Src >= 0 {
+			r.bySrc[e.Src] = append(r.bySrc[e.Src], e)
+		}
+	}
+}
+
 // Generate implements sim.TrafficGen.
 func (r *Replay) Generate(cycle int64, src int, _ *rand.Rand, emit func(sim.PacketSpec)) {
 	if r.bySrc == nil {
-		r.bySrc = map[int][]TraceEntry{}
-		r.next = map[int]int{}
-		for _, e := range r.Trace.Entries {
-			r.bySrc[e.Src] = append(r.bySrc[e.Src], e)
-		}
+		// Direct use without a simulator attach (tests, tools); the
+		// simulator always calls PrepareTerminals first.
+		r.PrepareTerminals(0)
+	}
+	if src < 0 || src >= len(r.bySrc) {
+		return
 	}
 	entries := r.bySrc[src]
 	i := r.next[src]

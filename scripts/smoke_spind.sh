@@ -71,6 +71,28 @@ grep -E 'req id=[0-9a-f]+-[0-9]+ endpoint=simulate code=200 cache=miss key=[0-9a
 grep -E 'req id=.* endpoint=simulate code=200 cache=hit ' "$TMP/spind.log" >/dev/null \
   || { echo "no structured hit line:"; cat "$TMP/spind.log"; exit 1; }
 
+echo "== trace upload (spintrace -pack -b64 -> /v1/simulate trace_b64)"
+go build -o "$TMP/spintrace" ./cmd/spintrace
+# A tiny deterministic CSV trace: 32 packets over 8 cycles on the 8x8 mesh.
+for i in $(seq 0 31); do
+  src=$((i % 64)); dst=$(((src + 1 + i % 61) % 64))
+  echo "$((i / 4)),$src,$dst,$((1 + i % 5)),0"
+done > "$TMP/trace.csv"
+TB64="$("$TMP/spintrace" -pack "$TMP/trace.csv" -b64)"
+TRACE_BODY="{\"topology\":\"mesh:8x8\",\"routing\":\"min_adaptive\",\"scheme\":\"spin\",\"cycles\":200,\"drain_cycles\":20000,\"seed\":2,\"trace_b64\":\"$TB64\"}"
+curl -fsS -D "$TMP/h4" -o "$TMP/r4" -d "$TRACE_BODY" "http://$ADDR/v1/simulate"
+grep -i '^x-cache: miss' "$TMP/h4" >/dev/null || { echo "trace upload was not a miss:"; cat "$TMP/h4"; exit 1; }
+grep -Eq '"injected": *32' "$TMP/r4" || { echo "trace replay did not inject 32 packets:"; cat "$TMP/r4"; exit 1; }
+curl -fsS -D "$TMP/h5" -o "$TMP/r5" -d "$TRACE_BODY" "http://$ADDR/v1/simulate"
+grep -i '^x-cache: hit' "$TMP/h5" >/dev/null || { echo "trace repeat was not a hit:"; cat "$TMP/h5"; exit 1; }
+cmp "$TMP/r4" "$TMP/r5" || { echo "trace cache hit not byte-identical"; exit 1; }
+
+echo "== closed-loop workload request"
+WBODY='{"topology":"mesh:8x8","routing":"min_adaptive","scheme":"spin","traffic":"uniform_random","rate":0.2,"cycles":2000,"seed":4,"workload":{"mode":"closed","window":4,"req_len":1,"resp_len":1,"think":8}}'
+curl -fsS -o "$TMP/r6" -d "$WBODY" "http://$ADDR/v1/simulate"
+grep -q '"injected"' "$TMP/r6" || { echo "workload request failed:"; cat "$TMP/r6"; exit 1; }
+grep -Eq '"vnets": *2' "$TMP/r6" || { echo "workload normalization did not reserve a reply vnet:"; cat "$TMP/r6"; exit 1; }
+
 echo "== graceful drain: SIGTERM with a request in flight"
 SLOW='{"topology":"mesh:8x8","routing":"min_adaptive","scheme":"spin","traffic":"uniform_random","rate":0.05,"cycles":200000,"seed":7}'
 curl -fsS -o "$TMP/slow" -d "$SLOW" "http://$ADDR/v1/simulate" &

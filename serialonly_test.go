@@ -62,11 +62,12 @@ func TestSerialOnlyClamping(t *testing.T) {
 	}
 }
 
-// TestTraceTrafficForcesSerial: traffic.Replay and traffic.Recorder do
-// not implement sim.SerialOnly (replaying and capturing the global
-// injection order is inherently serial), so the engine must clamp to one
-// shard however many were requested.
-func TestTraceTrafficForcesSerial(t *testing.T) {
+// TestTraceTrafficShardPolicy: traffic.Recorder captures the global
+// injection order, which is inherently serial, so it clamps to one
+// shard. traffic.Replay (and the streaming StreamReplay) dispatch each
+// entry to its source terminal's queue, a shard-local affair, so replay
+// declares shard-safety and keeps the requested count.
+func TestTraceTrafficShardPolicy(t *testing.T) {
 	topo, err := spin.BuildTopology("mesh:4x4", 1)
 	if err != nil {
 		t.Fatal(err)
@@ -77,11 +78,12 @@ func TestTraceTrafficForcesSerial(t *testing.T) {
 	}
 	base := &traffic.Synthetic{Pattern: traffic.Uniform(topo.NumTerminals()), Rate: 0.1}
 	cases := []struct {
-		name string
-		gen  sim.TrafficGen
+		name       string
+		gen        sim.TrafficGen
+		wantShards int
 	}{
-		{"replay", &traffic.Replay{Trace: &traffic.Trace{}}},
-		{"recorder", &traffic.Recorder{Gen: base}},
+		{"replay", &traffic.Replay{Trace: &traffic.Trace{}}, 4},
+		{"recorder", &traffic.Recorder{Gen: base}, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -91,8 +93,8 @@ func TestTraceTrafficForcesSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got := net.Shards(); got != 1 {
-				t.Errorf("Shards() = %d, want 1 (trace traffic must run serial)", got)
+			if got := net.Shards(); got != tc.wantShards {
+				t.Errorf("Shards() = %d, want %d", got, tc.wantShards)
 			}
 		})
 	}
@@ -121,5 +123,23 @@ func TestSetTrafficPanicsOnShardedNetwork(t *testing.T) {
 			t.Errorf("panic message does not explain the serial requirement: %v", r)
 		}
 	}()
+	s.Network().SetTraffic(&traffic.Recorder{Gen: &traffic.Synthetic{
+		Pattern: traffic.Uniform(16), Rate: 0.1,
+	}})
+}
+
+// TestReplaySetTrafficAllowedSharded is the flip side: a shard-safe
+// replay generator attaches to a sharded network without complaint.
+func TestReplaySetTrafficAllowedSharded(t *testing.T) {
+	s, err := spin.New(spin.Config{
+		Topology: "mesh:4x4", Routing: "min_adaptive", Scheme: "spin",
+		Traffic: "uniform_random", Rate: 0.1, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Network().Shards() != 4 {
+		t.Fatalf("control network did not shard: %d", s.Network().Shards())
+	}
 	s.Network().SetTraffic(&traffic.Replay{Trace: &traffic.Trace{}})
 }
