@@ -7,6 +7,9 @@
 //	POST /v1/simulate   one scenario (harness JSON + optional "check");
 //	                    ?stream=sse streams the windowed time-series live
 //	POST /v1/sweep      one figure sweep ({"fig":"7", ...})
+//	GET  /v1/trace/<id> a request's span tree, merged across the fleet
+//	                    (?format=perfetto for a Perfetto-loadable timeline)
+//	GET  /v1/version    build identity (version, commit, Go toolchain)
 //	GET  /healthz       liveness + queue snapshot
 //	GET  /readyz        readiness (fails while draining or pre-gossip)
 //	GET  /metrics       Prometheus text exposition
@@ -43,6 +46,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -70,7 +74,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request simulation budget")
 		maxcycles = flag.Int64("maxcycles", 2_000_000, "largest cycles value a request may ask for")
 		grace     = flag.Duration("grace", time.Minute, "shutdown grace period for in-flight requests")
-		reqlog    = flag.Bool("reqlog", true, "log one structured line per request (id, endpoint, code, cache outcome, key, duration)")
+		reqlog    = flag.Bool("reqlog", true, "log one structured JSON record per request (id, endpoint, code, cache outcome, key, duration, trace/span IDs)")
 		node      = flag.String("node", "", "fleet node ID (default: the advertise address)")
 		advertise = flag.String("advertise", "", "host:port peers reach this node at (default: 127.0.0.1 + the -addr port)")
 		peers     = flag.String("peers", "", "comma-separated seed addresses of other fleet members (empty = no fleet)")
@@ -82,6 +86,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("opening cache: %v", err)
 	}
+	// Request and fleet logs are structured JSON records on stderr (one
+	// object per line: request ID, trace/span IDs, hop path, ...), so
+	// they are machine-queryable; daemon lifecycle lines stay on the
+	// plain logger.
+	jsonLog := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	cfg := serve.Config{
 		Cache:     store,
 		Workers:   *workers,
@@ -91,10 +100,7 @@ func main() {
 		MaxCycles: *maxcycles,
 	}
 	if *reqlog {
-		// The request log shares the daemon's logger: same prefix and
-		// timestamps, greppable by the request ID echoed in X-Request-ID
-		// headers and error bodies.
-		cfg.Log = log.Default()
+		cfg.Log = jsonLog
 	}
 
 	// Fleet mode: any -peers (or an explicit -node/-advertise) joins this
@@ -132,7 +138,8 @@ func main() {
 				return fleet.CacheInfo{Hits: st.Hits, DiskHits: st.DiskHits, Misses: st.Misses, Entries: st.MemEntries}
 			},
 			ProxyTimeout: *timeout + 30*time.Second,
-			Log:          log.Default(),
+			Version:      serve.ReadBuild().String(),
+			Log:          jsonLog,
 		})
 		if err != nil {
 			log.Fatalf("fleet: %v", err)

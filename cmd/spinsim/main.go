@@ -96,6 +96,7 @@ func main() {
 		drain    = flag.Bool("drain", false, "after the run, stop traffic and drain (liveness check)")
 		check    = flag.Bool("check", false, "attach the runtime invariant checker; on violation print it, write a replay artifact, and exit 1")
 		checkDir = flag.String("checkdir", ".", "directory for -check replay artifacts")
+		replayFr = flag.String("replay-forensics", "", "re-drive a forensics-<key>.json flight-recorder artifact through the checked harness; exit 0 if the failure reproduces")
 		record   = flag.String("record", "", "record the injected workload to a CSV trace file")
 		replay   = flag.String("replay", "", "drive the run from a CSV trace file instead of -traffic")
 		traceIn  = flag.String("trace-in", "", "drive the run from a binary spintrace-v1 file (streamed; works with -shards)")
@@ -117,6 +118,10 @@ func main() {
 		memprof  = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+	if *replayFr != "" {
+		replayForensics(*replayFr)
+		return
+	}
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
 		if err != nil {
@@ -297,6 +302,12 @@ func main() {
 		}
 		tele = s.Network().AttachTelemetry(topt)
 	}
+	if *check {
+		// After the telemetry attach (which replaces the layer wholesale):
+		// the flight recorder rides the same event funnel and snapshots
+		// the SPIN protocol tail when an invariant fires.
+		s.Network().AttachFlightRecorder(harness.FlightRecorderCap)
+	}
 	if err := runOne(ctx, s, *cycles, *timeout, *progress); err != nil {
 		log.Fatal(err)
 	}
@@ -401,10 +412,45 @@ func main() {
 			res.Trace = ev
 		}
 		if res.Failed() {
+			if !drained {
+				s.Network().CaptureForensics("drain_incomplete")
+			}
+			res.Forensics = s.Network().FlightRecorder().Snapshot()
 			log.Print(harness.ReportFailure(*checkDir, res))
 			os.Exit(1)
 		}
 		fmt.Printf("check           ok: no invariant violations (max deadlock spell %d cycles)\n", checker.MaxDeadlockSpell())
+	}
+}
+
+// replayForensics re-drives a flight-recorder artifact through the
+// checked harness and reports whether the recorded failure reproduces.
+func replayForensics(path string) {
+	f, err := harness.LoadForensics(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("forensics       %s\n", path)
+	fmt.Printf("scenario        %s\n", f.Scenario)
+	if f.Snapshot != nil {
+		fmt.Printf("recorded        %s at cycle %d: %d SPIN events retained (%d seen), %d chained VCs\n",
+			f.Snapshot.Reason, f.Snapshot.Cycle, len(f.Snapshot.Events), f.Snapshot.Total, len(f.Snapshot.SpinningVCs))
+	}
+	if f.CDG != nil {
+		fmt.Printf("cdg             %s\n", f.CDG.Summary)
+	}
+	res, reproduced, err := harness.ReplayForensics(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !reproduced {
+		fmt.Printf("replay          NOT REPRODUCED: %s\n", res.Summary())
+		os.Exit(1)
+	}
+	fmt.Printf("replay          reproduced: %s\n", res.Summary())
+	if res.Forensics != nil {
+		fmt.Printf("snapshot        fresh capture at cycle %d: %d events, %d chained VCs\n",
+			res.Forensics.Cycle, len(res.Forensics.Events), len(res.Forensics.SpinningVCs))
 	}
 }
 

@@ -122,6 +122,47 @@ func TestStepAllocBudget(t *testing.T) {
 	}
 }
 
+// TestStepAllocBudgetFlightRecorder re-runs the zero-alloc gate with
+// the forensics flight recorder attached: the recorder's masked ring
+// must record SPIN protocol events without costing a single steady-state
+// allocation, since it is meant to be left on in production runs.
+func TestStepAllocBudgetFlightRecorder(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	for _, name := range []string{"mesh8x8/sat", "dfly64/sat"} {
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/shards%d", name, shards), func(t *testing.T) {
+				var w Workload
+				for _, cand := range Workloads() {
+					if cand.Name == name {
+						w = cand
+					}
+				}
+				if w.Name == "" {
+					t.Fatalf("workload %s not defined", name)
+				}
+				cfg := w.Cfg
+				cfg.Shards = shards
+				s, err := spin.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := s.Network().AttachFlightRecorder(1024)
+				s.Run(8000)
+				if avg := testing.AllocsPerRun(300, func() { s.Run(1) }); avg != 0 {
+					t.Errorf("steady-state Step with flight recorder allocates %.4f objects/cycle, want 0", avg)
+				}
+				// Only the mesh workload is guaranteed SPIN activity at
+				// saturation; dfly64's routing can stay recovery-free.
+				if name == "mesh8x8/sat" && rec.Total() == 0 {
+					t.Error("flight recorder saw no SPIN events on a saturating mesh workload")
+				}
+			})
+		}
+	}
+}
+
 // TestStepAllocBudgetWorkloads extends the zero-alloc gate to the shaped
 // traffic generators: the closed-loop request/response clients (whose
 // reply queues and window accounting must reach a steady-state plateau

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -17,12 +18,38 @@ import (
 // itself and echoes the final path in its response. X-Fleet-Forwarded
 // marks a proxied request so the owner never proxies again — ownership
 // views can disagree transiently, and one hop is always enough to reach
-// a node willing to compute.
+// a node willing to compute. traceparent is the W3C trace-context
+// header: it carries the trace ID plus the calling span's ID, so the
+// receiving node's request span becomes a child of the hop span and a
+// cross-node request merges into one span tree.
 const (
-	HeaderRequestID = "X-Request-ID"
-	HeaderPath      = "X-Fleet-Path"
-	HeaderForwarded = "X-Fleet-Forwarded"
+	HeaderRequestID   = "X-Request-ID"
+	HeaderPath        = "X-Fleet-Path"
+	HeaderForwarded   = "X-Fleet-Forwarded"
+	HeaderTraceparent = "traceparent"
 )
+
+// Hop is the per-request context a peer call carries across the wire:
+// the request ID, the accumulated hop path, and the traceparent of the
+// span covering the hop. Zero fields are simply not sent.
+type Hop struct {
+	ReqID       string
+	Path        string
+	Traceparent string
+}
+
+// set stamps the hop headers onto an outbound peer request.
+func (h Hop) set(req *http.Request) {
+	if h.ReqID != "" {
+		req.Header.Set(HeaderRequestID, h.ReqID)
+	}
+	if h.Path != "" {
+		req.Header.Set(HeaderPath, h.Path)
+	}
+	if h.Traceparent != "" {
+		req.Header.Set(HeaderTraceparent, h.Traceparent)
+	}
+}
 
 // maxPeerBody bounds a peer response (a cached simulation result; the
 // largest sweeps are a few MB).
@@ -57,12 +84,12 @@ type ProxySpec struct {
 // on a hit. Only alive non-self members are asked, at most three: the
 // owner plus the two nodes that inherit its keys if it dies — anyone
 // else is no likelier than chance to hold the value.
-func (f *Fleet) Fill(ctx context.Context, key, reqID, hopPath string) ([]byte, string, bool) {
+func (f *Fleet) Fill(ctx context.Context, key string, hop Hop) ([]byte, string, bool) {
 	for _, m := range f.owners(key, 3) {
 		if m.Self || m.State != StateAlive || m.Addr == "" {
 			continue
 		}
-		b, err := f.fetchOne(ctx, m, key, reqID, hopPath)
+		b, err := f.fetchOne(ctx, m, key, hop)
 		switch {
 		case err == nil && b != nil:
 			f.metrics.addPeer(f.metrics.fillHits, m.ID, 1)
@@ -78,19 +105,14 @@ func (f *Fleet) Fill(ctx context.Context, key, reqID, hopPath string) ([]byte, s
 }
 
 // fetchOne is one GET /v1/cache/<key>; (nil, nil) means a clean 404.
-func (f *Fleet) fetchOne(ctx context.Context, m Member, key, reqID, hopPath string) ([]byte, error) {
+func (f *Fleet) fetchOne(ctx context.Context, m Member, key string, hop Hop) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, f.cfg.FillTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+m.Addr+"/v1/cache/"+key, nil)
 	if err != nil {
 		return nil, err
 	}
-	if reqID != "" {
-		req.Header.Set(HeaderRequestID, reqID)
-	}
-	if hopPath != "" {
-		req.Header.Set(HeaderPath, hopPath)
-	}
+	hop.set(req)
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -112,8 +134,8 @@ func (f *Fleet) fetchOne(ctx context.Context, m Member, key, reqID, hopPath stri
 // Proxy forwards a full request to the owner, which computes (or
 // singleflight-joins) and caches it locally before answering. It
 // returns the response bytes plus the owner-reported hop path.
-func (f *Fleet) Proxy(ctx context.Context, m Member, spec ProxySpec, reqID, hopPath string) ([]byte, string, error) {
-	b, path, err := f.proxyOnce(ctx, m, spec, reqID, hopPath)
+func (f *Fleet) Proxy(ctx context.Context, m Member, spec ProxySpec, hop Hop) ([]byte, string, error) {
+	b, path, err := f.proxyOnce(ctx, m, spec, hop)
 	if err != nil {
 		f.metrics.addPeer(f.metrics.proxyErrors, m.ID, 1)
 		f.logf("proxy %s to %s: %v", spec.Path, m.ID, err)
@@ -123,7 +145,7 @@ func (f *Fleet) Proxy(ctx context.Context, m Member, spec ProxySpec, reqID, hopP
 	return b, path, nil
 }
 
-func (f *Fleet) proxyOnce(ctx context.Context, m Member, spec ProxySpec, reqID, hopPath string) ([]byte, string, error) {
+func (f *Fleet) proxyOnce(ctx context.Context, m Member, spec ProxySpec, hop Hop) ([]byte, string, error) {
 	if m.Addr == "" {
 		return nil, "", fmt.Errorf("member %s has no address", m.ID)
 	}
@@ -135,12 +157,7 @@ func (f *Fleet) proxyOnce(ctx context.Context, m Member, spec ProxySpec, reqID, 
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(HeaderForwarded, "1")
-	if reqID != "" {
-		req.Header.Set(HeaderRequestID, reqID)
-	}
-	if hopPath != "" {
-		req.Header.Set(HeaderPath, hopPath)
-	}
+	hop.set(req)
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return nil, "", err
@@ -197,4 +214,50 @@ func (f *Fleet) Backfill(key string, val []byte) {
 // counter lives next to the other fleet series).
 func (f *Fleet) Fallback() {
 	f.metrics.add(&f.metrics.fallbacks, 1)
+}
+
+// CollectPeers GETs path from every alive non-self member concurrently
+// and returns the 200-status bodies keyed by member ID. Trace retrieval
+// uses it to gather a request's spans from every node it may have
+// touched; errors and non-200s are skipped (a trace merge is best
+// effort — a dead peer's spans are simply absent).
+func (f *Fleet) CollectPeers(ctx context.Context, path string) map[string][]byte {
+	var targets []Member
+	for _, m := range f.Members() {
+		if !m.Self && m.State == StateAlive && m.Addr != "" {
+			targets = append(targets, m)
+		}
+	}
+	out := make(map[string][]byte, len(targets))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, m := range targets {
+		wg.Add(1)
+		go func(m Member) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(ctx, f.cfg.FillTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+m.Addr+path, nil)
+			if err != nil {
+				return
+			}
+			resp, err := f.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			out[m.ID] = b
+			mu.Unlock()
+		}(m)
+	}
+	wg.Wait()
+	return out
 }

@@ -28,7 +28,7 @@ package fleet
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -78,6 +78,9 @@ type Member struct {
 	State State     `json:"state"`
 	Self  bool      `json:"self,omitempty"`
 	Cache CacheInfo `json:"cache"`
+	// Version is the member's gossiped build identity ("version+commit"),
+	// so /v1/fleet shows a mixed-version fleet mid-rollout at a glance.
+	Version string `json:"version,omitempty"`
 	// Heartbeat is the member's own monotonic counter; LastSeenMS is how
 	// long ago (local clock, milliseconds) it last advanced.
 	Heartbeat  uint64 `json:"heartbeat"`
@@ -121,9 +124,12 @@ type Config struct {
 	// covers a full simulation on the owner, so it must exceed the
 	// serving layer's per-request budget).
 	ProxyTimeout time.Duration
+	// Version, when set, is gossiped with membership so every node's
+	// /v1/fleet view shows peer build identities.
+	Version string
 	// Log, when non-nil, receives membership transitions and gossip
-	// errors.
-	Log *log.Logger
+	// errors as structured records.
+	Log *slog.Logger
 	// Client overrides the HTTP client used for every peer call (tests).
 	Client *http.Client
 }
@@ -209,6 +215,7 @@ func New(cfg Config) (*Fleet, error) {
 			Addr:        cfg.Advertise,
 			Incarnation: now.UnixNano(),
 			Heartbeat:   1,
+			Version:     cfg.Version,
 		},
 		lastSeen: now,
 		state:    StateAlive,
@@ -304,6 +311,7 @@ func (f *Fleet) publicLocked(m *member, now time.Time) Member {
 		State:      m.state,
 		Self:       m.ID == f.cfg.ID,
 		Cache:      m.Cache,
+		Version:    m.Version,
 		Heartbeat:  m.Heartbeat,
 		LastSeenMS: now.Sub(m.lastSeen).Milliseconds(),
 	}
@@ -354,9 +362,12 @@ func (f *Fleet) rebuildRingLocked() {
 	f.ring = newRing(ids, f.cfg.VNodes)
 }
 
-// logf writes to the configured logger, if any.
+// logf writes one structured record to the configured logger, if any.
+// Fleet messages are operational prose (membership transitions, peer
+// call failures), so the formatted text is the record message and the
+// subsystem rides along as an attribute.
 func (f *Fleet) logf(format string, args ...interface{}) {
 	if f.cfg.Log != nil {
-		f.cfg.Log.Printf("fleet: "+format, args...)
+		f.cfg.Log.Info(fmt.Sprintf("fleet: "+format, args...), slog.String("subsys", "fleet"))
 	}
 }

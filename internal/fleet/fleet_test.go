@@ -314,7 +314,7 @@ func TestFillAndBackfill(t *testing.T) {
 	}
 	val := []byte(`{"cached":true}`)
 	byID[owner.ID].cache.Put(key, val)
-	got, peer, ok := b.fleet.Fill(context.Background(), key, "req-1", "b")
+	got, peer, ok := b.fleet.Fill(context.Background(), key, Hop{ReqID: "req-1", Path: "b"})
 	if !ok || peer != owner.ID || string(got) != string(val) {
 		t.Fatalf("Fill = (%q, %q, %v), want (%q, %q, true)", got, peer, ok, val, owner.ID)
 	}

@@ -29,6 +29,7 @@ type wireMember struct {
 	Heartbeat   uint64    `json:"heartbeat"`
 	Left        bool      `json:"left,omitempty"`
 	Cache       CacheInfo `json:"cache"`
+	Version     string    `json:"version,omitempty"`
 }
 
 // gossipMsg is the request and response body of POST /v1/gossip.

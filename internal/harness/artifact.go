@@ -85,6 +85,14 @@ func ReportFailure(dir string, res *Result) string {
 	if err != nil {
 		return fmt.Sprintf("%s (artifact write failed: %v)", msg, err)
 	}
-	return fmt.Sprintf("%s\nartifact: %s\nreplay:   %s=%s go test -run 'TestReplayArtifact' ./internal/harness",
+	msg = fmt.Sprintf("%s\nartifact: %s\nreplay:   %s=%s go test -run 'TestReplayArtifact' ./internal/harness",
 		msg, path, ReplayEnv, path)
+	if res.Forensics != nil {
+		fpath, err := WriteForensics(dir, NewForensics(res))
+		if err != nil {
+			return fmt.Sprintf("%s\n(forensics write failed: %v)", msg, err)
+		}
+		msg = fmt.Sprintf("%s\nforensics: %s\nreplay:    spinsim -replay-forensics %s", msg, fpath, fpath)
+	}
+	return msg
 }

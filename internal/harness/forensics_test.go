@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBuildCDGCutAdaptiveMeshIsCyclic(t *testing.T) {
+	cut := BuildCDGCut(Scenario{Topology: "mesh:4x4", Routing: "min_adaptive", VCsPerVNet: 1})
+	if cut == nil {
+		t.Fatal("no CDG cut for min_adaptive on a mesh")
+	}
+	if cut.Cycles == 0 || cut.LargestCycle == 0 {
+		t.Fatalf("fully-adaptive mesh CDG reported acyclic: %+v", cut)
+	}
+	if len(cut.LargestCycleChannels) == 0 || len(cut.LargestCycleChannels) > cdgCutMaxChannels {
+		t.Fatalf("largest-cycle channel list has %d entries, want 1..%d",
+			len(cut.LargestCycleChannels), cdgCutMaxChannels)
+	}
+	for _, ch := range cut.LargestCycleChannels {
+		if ch.Src == ch.Dst {
+			t.Fatalf("channel %+v is a self-link", ch)
+		}
+	}
+	if !strings.Contains(cut.Summary, "cyclic") {
+		t.Fatalf("summary %q does not mention cyclicity", cut.Summary)
+	}
+}
+
+func TestBuildCDGCutXYIsAcyclic(t *testing.T) {
+	cut := BuildCDGCut(Scenario{Topology: "mesh:4x4", Routing: "xy", VCsPerVNet: 1})
+	if cut == nil {
+		t.Fatal("no CDG cut for xy on a mesh")
+	}
+	if cut.Cycles != 0 || cut.LargestCycle != 0 || len(cut.LargestCycleChannels) != 0 {
+		t.Fatalf("XY mesh CDG reported cyclic: %+v", cut)
+	}
+}
+
+func TestBuildCDGCutUnsupportedRoutingIsNil(t *testing.T) {
+	if cut := BuildCDGCut(Scenario{Topology: "mesh:4x4", Routing: "not_a_routing"}); cut != nil {
+		t.Fatalf("unsupported routing produced a cut: %+v", cut)
+	}
+	if cut := BuildCDGCut(Scenario{Topology: "bogus:topo", Routing: "xy"}); cut != nil {
+		t.Fatalf("unbuildable topology produced a cut: %+v", cut)
+	}
+}
+
+func TestForensicsWriteLoadRoundTrip(t *testing.T) {
+	res := &Result{
+		Scenario: Scenario{Topology: "mesh:4x4", Routing: "min_adaptive", Scheme: "spin",
+			Traffic: "uniform", Rate: 0.3, Seed: 7, Cycles: 100},
+		Violations: []sim.Violation{{Cycle: 42, Rule: "recovery", Detail: "stuck"}},
+		Forensics: &sim.ForensicsSnapshot{
+			Cycle:  42,
+			Reason: "recovery",
+			Total:  3,
+			Events: []sim.Event{{Cycle: 40, Kind: sim.EvSpinStart, Router: 1}},
+			SpinningVCs: []sim.VCForensics{
+				{Router: 1, Port: 2, VC: 0, Spinning: true, OutPort: 1, DownRouter: 2, DownPort: 3, DownVC: 0},
+			},
+		},
+	}
+	dir := t.TempDir()
+	path, err := WriteForensics(dir, NewForensics(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadForensics(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != ForensicsSchema {
+		t.Fatalf("schema %q, want %s", f.Schema, ForensicsSchema)
+	}
+	if f.Scenario.Key() != res.Scenario.Key() {
+		t.Fatal("scenario did not survive the round trip")
+	}
+	if f.Snapshot == nil || f.Snapshot.Reason != "recovery" || len(f.Snapshot.Events) != 1 {
+		t.Fatalf("snapshot did not survive: %+v", f.Snapshot)
+	}
+	if f.Snapshot.Events[0].Kind != sim.EvSpinStart {
+		t.Fatalf("event kind decoded as %v, want spin_start", f.Snapshot.Events[0].Kind)
+	}
+	if len(f.Snapshot.SpinningVCs) != 1 || f.Snapshot.SpinningVCs[0].DownRouter != 2 {
+		t.Fatalf("VC chain did not survive: %+v", f.Snapshot.SpinningVCs)
+	}
+	if f.CDG == nil || f.CDG.Cycles == 0 {
+		t.Fatalf("forensics lacks the cyclic CDG cut: %+v", f.CDG)
+	}
+	if !strings.Contains(f.Repro, "spinsim -replay-forensics") {
+		t.Fatalf("repro %q lacks the replay command", f.Repro)
+	}
+}
+
+func TestReportFailureWritesForensicsArtifact(t *testing.T) {
+	res := &Result{
+		Scenario:  Scenario{Topology: "mesh:4x4", Routing: "xy", Traffic: "uniform", Rate: 0.1, Seed: 3, Cycles: 50},
+		Drained:   false,
+		Injected:  10,
+		Ejected:   4,
+		Forensics: &sim.ForensicsSnapshot{Cycle: 50, Reason: "drain_incomplete"},
+	}
+	dir := t.TempDir()
+	msg := ReportFailure(dir, res)
+	if !strings.Contains(msg, "forensics-"+res.Scenario.Key()+".json") {
+		t.Fatalf("report does not mention the forensics artifact:\n%s", msg)
+	}
+	f, err := LoadForensics(dir + "/forensics-" + res.Scenario.Key() + ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Snapshot == nil || f.Snapshot.Reason != "drain_incomplete" {
+		t.Fatalf("forensics snapshot %+v, want drain_incomplete", f.Snapshot)
+	}
+	if len(f.Notes) == 0 || !strings.Contains(f.Notes[0], "drain incomplete") {
+		t.Fatalf("notes %v lack the drain verdict", f.Notes)
+	}
+}

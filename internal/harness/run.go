@@ -30,6 +30,10 @@ type Result struct {
 	// events excluded), embedded in failure artifacts so a triager sees
 	// what the network was doing when the invariant broke.
 	Trace []sim.Event `json:"-"`
+	// Forensics is the flight recorder's first-failure snapshot (SPIN
+	// event ring + frozen/spinning-VC chain), nil on clean runs. It is
+	// written out as a forensics-<key>.json artifact by ReportFailure.
+	Forensics *sim.ForensicsSnapshot `json:"-"`
 }
 
 // TraceTail is how many trailing telemetry events a checked run retains
@@ -114,7 +118,7 @@ func runChecked(sc Scenario, s *spin.Simulation) (*Result, error) {
 	net := s.Network()
 	checker := net.AttachChecker(sc.CheckOptions(net.NumRouters()))
 	rec := telemetry.NewRecorder(TraceTail)
-	net.AttachTelemetry(sim.TelemetryOptions{Probe: rec})
+	net.AttachTelemetry(sim.TelemetryOptions{Probe: rec, Recorder: sim.NewFlightRecorder(FlightRecorderCap)})
 	res := &Result{Scenario: sc}
 	net.SetEjectHook(func(p *sim.Packet) {
 		res.Delivered = append(res.Delivered, Delivery{ID: p.ID, Src: p.Src, Dst: p.Dst, Length: p.Length, VNet: p.VNet})
@@ -145,6 +149,13 @@ func runChecked(sc Scenario, s *spin.Simulation) (*Result, error) {
 			return nil, fmt.Errorf("harness: trace stream: %w", err)
 		}
 	}
+	// The checker snapshots the flight recorder at its first violation;
+	// an incomplete drain is a liveness failure the checker never sees,
+	// so capture here (no-op when a checker snapshot already exists).
+	if !res.Drained {
+		net.CaptureForensics("drain_incomplete")
+	}
+	res.Forensics = net.FlightRecorder().Snapshot()
 	res.Trace = rec.Events()
 	res.Injected = net.Stats().Injected
 	res.Ejected = net.Stats().Ejected

@@ -201,6 +201,66 @@ func TestCounterexampleReplaysThroughSimulator(t *testing.T) {
 	}
 }
 
+// TestForensicsArtifactFromInducedDeadlock is the flight-recorder
+// acceptance test: replaying the ring5 no_probe counterexample through
+// the checked harness must trip the flight recorder, the resulting
+// forensics-<key>.json must carry the SPIN event tail and the
+// frozen/spinning-VC chain, and re-driving the artifact through
+// harness.ReplayForensics must reproduce the violation.
+func TestForensicsArtifactFromInducedDeadlock(t *testing.T) {
+	res := checkInstance(t, "ring5", 14, 4, MutNoProbe)
+	if !res.Failed() {
+		t.Fatal("no counterexample to replay")
+	}
+	in, err := NewInstance("ring5", 0, MutNoProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := in.TraceScenario(res.Violations[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated, err := Replay(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mutated.Failed() {
+		t.Fatalf("replay did not fail: %s", mutated.Summary())
+	}
+	if mutated.Forensics == nil {
+		t.Fatal("failed replay produced no forensics snapshot")
+	}
+	if len(mutated.Forensics.Events) == 0 {
+		t.Error("forensics snapshot retained no SPIN events")
+	}
+	if len(mutated.Forensics.SpinningVCs) == 0 {
+		t.Error("forensics snapshot has an empty VC chain for a persistent deadlock")
+	}
+
+	dir := t.TempDir()
+	path, err := harness.WriteForensics(dir, harness.NewForensics(mutated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := harness.LoadForensics(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Scenario.Key() != sc.Key() {
+		t.Fatal("artifact scenario does not match the replayed scenario")
+	}
+	replayRes, reproduced, err := harness.ReplayForensics(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reproduced {
+		t.Fatalf("forensics replay did not reproduce the violation: %s", replayRes.Summary())
+	}
+	if replayRes.Forensics == nil {
+		t.Error("forensics replay produced no fresh snapshot")
+	}
+}
+
 // TestTraceScenarioRejectsModelOnlyMutation: spin_unchecked lives in the
 // model's spin abstraction and must refuse to fabricate a simulator
 // replay.

@@ -1,0 +1,419 @@
+// Package otrace is a lightweight distributed-tracing layer for the
+// spind serving stack: spans with parent links and W3C-style
+// traceparent identifiers, recorded into a bounded per-node ring so a
+// request's whole tree — across fleet hops — can be fetched after the
+// fact and merged into one timeline.
+//
+// The package is deliberately tiny: no clocks beyond time.Now, no
+// sampling machinery, no wire protocol beyond the traceparent header
+// (`00-<32 hex trace id>-<16 hex span id>-01`). Every Span method is
+// nil-receiver safe, so call sites never guard on whether tracing is
+// enabled — an untraced request simply carries a nil *Span all the way
+// through.
+package otrace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Traceparent format: version 00, 16-byte trace ID, 8-byte span ID,
+// flags 01 (sampled). This is the W3C trace-context layout; only the
+// fields the fleet needs are interpreted.
+const (
+	traceIDHexLen = 32
+	spanIDHexLen  = 16
+)
+
+// ParseTraceparent extracts the trace and parent-span IDs from a
+// traceparent header value. ok is false for anything malformed — an
+// unparseable header means "start a fresh trace", never an error.
+func ParseTraceparent(tp string) (traceID, spanID string, ok bool) {
+	// 00-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx-yyyyyyyyyyyyyyyy-01
+	if len(tp) != 2+1+traceIDHexLen+1+spanIDHexLen+1+2 {
+		return "", "", false
+	}
+	if tp[2] != '-' || tp[3+traceIDHexLen] != '-' || tp[4+traceIDHexLen+spanIDHexLen] != '-' {
+		return "", "", false
+	}
+	traceID = tp[3 : 3+traceIDHexLen]
+	spanID = tp[4+traceIDHexLen : 4+traceIDHexLen+spanIDHexLen]
+	if !isLowerHex(tp[:2]) || !isLowerHex(traceID) || !isLowerHex(spanID) {
+		return "", "", false
+	}
+	if allZero(traceID) || allZero(spanID) {
+		return "", "", false
+	}
+	return traceID, spanID, true
+}
+
+// FormatTraceparent renders a traceparent header value.
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// randHex returns n random bytes as 2n lowercase hex characters.
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on the supported platforms; a non-random
+		// ID would still be unique enough for correlation, so degrade
+		// rather than panic the serving path.
+		for i := range b {
+			b[i] = byte(time.Now().UnixNano() >> (uint(i) * 8))
+		}
+	}
+	s := hex.EncodeToString(b)
+	if allZero(s) {
+		s = "1" + s[1:]
+	}
+	return s
+}
+
+// SpanData is the exported, immutable form of one finished (or
+// snapshotted) span. Durations and start times are wall-clock
+// nanoseconds so spans from different nodes merge on one axis.
+type SpanData struct {
+	TraceID string            `json:"trace_id"`
+	SpanID  string            `json:"span_id"`
+	Parent  string            `json:"parent_span_id,omitempty"`
+	Name    string            `json:"name"`
+	Node    string            `json:"node,omitempty"`
+	Start   int64             `json:"start_unix_ns"`
+	Dur     int64             `json:"dur_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	// Metric overrides the histogram label the span lands under (spans
+	// like "proxy:<peer>" all observe as "proxy"); empty means Name.
+	Metric string `json:"-"`
+}
+
+// MetricName is the label the span's duration is observed under.
+func (d SpanData) MetricName() string {
+	if d.Metric != "" {
+		return d.Metric
+	}
+	return d.Name
+}
+
+// Span is one in-progress operation. Obtain the root with
+// Tracer.StartRequest and children with StartChild; finish with End.
+// All methods are safe on a nil receiver (no tracer → no spans).
+type Span struct {
+	tr    *Tracer
+	mu    sync.Mutex
+	data  SpanData
+	start time.Time
+	ended bool
+}
+
+// StartChild opens a child span under s.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	return &Span{
+		tr:    s.tr,
+		start: now,
+		data: SpanData{
+			TraceID: s.data.TraceID,
+			SpanID:  randHex(8),
+			Parent:  s.data.SpanID,
+			Name:    name,
+			Node:    s.data.Node,
+			Start:   now.UnixNano(),
+		},
+	}
+}
+
+// SetAttr attaches one key=value attribute.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.data.Attrs == nil {
+		s.data.Attrs = make(map[string]string, 4)
+	}
+	s.data.Attrs[k] = v
+	s.mu.Unlock()
+}
+
+// SetMetricName sets the histogram label the span's duration observes
+// under, collapsing per-peer span names into one bounded series.
+func (s *Span) SetMetricName(m string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.data.Metric = m
+	s.mu.Unlock()
+}
+
+// End finishes the span and records it into the tracer's ring (at most
+// once; duplicate Ends are ignored).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.Dur = time.Since(s.start).Nanoseconds()
+	d := s.data
+	s.mu.Unlock()
+	if s.tr != nil {
+		s.tr.record(d)
+	}
+}
+
+// Snapshot returns the span's current data with the duration measured
+// up to now — the live view of an unfinished span (the ?trace=server
+// response includes the root this way, since the root only Ends after
+// the response is written).
+func (s *Span) Snapshot() (SpanData, bool) {
+	if s == nil {
+		return SpanData{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.data
+	if !s.ended {
+		d.Dur = time.Since(s.start).Nanoseconds()
+	}
+	if len(s.data.Attrs) > 0 {
+		d.Attrs = make(map[string]string, len(s.data.Attrs))
+		for k, v := range s.data.Attrs {
+			d.Attrs[k] = v
+		}
+	}
+	return d, true
+}
+
+// TraceID reports the span's 32-hex-char trace ID ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.TraceID
+}
+
+// SpanID reports the span's 16-hex-char span ID ("" on nil).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.SpanID
+}
+
+// Traceparent renders the header value that makes a downstream hop's
+// spans children of s ("" on nil).
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return FormatTraceparent(s.data.TraceID, s.data.SpanID)
+}
+
+// traceEntry is one trace's recorded spans.
+type traceEntry struct {
+	spans   []SpanData
+	dropped int
+}
+
+// Tracer records finished spans into a bounded per-trace ring. One
+// Tracer per node; the node name stamps every span so merged timelines
+// show where each span ran.
+type Tracer struct {
+	node     string
+	capTrace int
+	capSpans int
+
+	mu     sync.Mutex
+	traces map[string]*traceEntry
+	order  []string // trace IDs oldest-first, for eviction
+	onEnd  func(SpanData)
+}
+
+// DefaultTraceCap and DefaultSpanCap bound the ring: at most
+// DefaultTraceCap distinct traces retained, each keeping at most
+// DefaultSpanCap spans (beyond that, spans are counted but dropped).
+const (
+	DefaultTraceCap = 256
+	DefaultSpanCap  = 512
+)
+
+// NewTracer builds a tracer for one node. capTraces <= 0 selects
+// DefaultTraceCap.
+func NewTracer(node string, capTraces int) *Tracer {
+	if capTraces <= 0 {
+		capTraces = DefaultTraceCap
+	}
+	return &Tracer{
+		node:     node,
+		capTrace: capTraces,
+		capSpans: DefaultSpanCap,
+		traces:   make(map[string]*traceEntry),
+	}
+}
+
+// Node reports the tracer's node name.
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// OnEnd installs a callback invoked (synchronously) for every span as
+// it is recorded — the hook the serving layer uses to feed span-duration
+// histograms. Install before serving begins.
+func (t *Tracer) OnEnd(fn func(SpanData)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onEnd = fn
+	t.mu.Unlock()
+}
+
+// StartRequest opens a root span for one inbound request. A valid
+// traceparent header adopts the remote trace ID and parents the root
+// under the remote span (the cross-node link); anything else mints a
+// fresh trace. Safe on a nil tracer (returns a nil span).
+func (t *Tracer) StartRequest(name, traceparent string) *Span {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	s := &Span{tr: t, start: now}
+	s.data = SpanData{
+		SpanID: randHex(8),
+		Name:   name,
+		Node:   t.node,
+		Start:  now.UnixNano(),
+	}
+	if tid, parent, ok := ParseTraceparent(traceparent); ok {
+		s.data.TraceID = tid
+		s.data.Parent = parent
+	} else {
+		s.data.TraceID = randHex(16)
+	}
+	return s
+}
+
+// record stores one finished span, evicting the oldest trace beyond the
+// trace cap.
+func (t *Tracer) record(d SpanData) {
+	t.mu.Lock()
+	e := t.traces[d.TraceID]
+	if e == nil {
+		e = &traceEntry{}
+		t.traces[d.TraceID] = e
+		t.order = append(t.order, d.TraceID)
+		for len(t.order) > t.capTrace {
+			evict := t.order[0]
+			t.order = t.order[1:]
+			delete(t.traces, evict)
+		}
+	}
+	if len(e.spans) < t.capSpans {
+		e.spans = append(e.spans, d)
+	} else {
+		e.dropped++
+	}
+	fn := t.onEnd
+	t.mu.Unlock()
+	if fn != nil {
+		fn(d)
+	}
+}
+
+// Trace returns the recorded spans of one trace, start-time ordered
+// (nil when the trace is unknown or evicted). The slice is a copy.
+func (t *Tracer) Trace(traceID string) []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	e := t.traces[traceID]
+	var out []SpanData
+	if e != nil {
+		out = append([]SpanData(nil), e.spans...)
+	}
+	t.mu.Unlock()
+	SortSpans(out)
+	return out
+}
+
+// Dropped reports how many spans of a trace were discarded over the
+// per-trace cap.
+func (t *Tracer) Dropped(traceID string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.traces[traceID]; e != nil {
+		return e.dropped
+	}
+	return 0
+}
+
+// Len reports how many traces are currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
+
+// SortSpans orders spans by start time (then span ID for stability) —
+// the canonical order for responses and merged timelines.
+func SortSpans(spans []SpanData) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+}
+
+// ValidTraceID reports whether id is a well-formed 32-hex-char trace ID
+// (the /v1/trace/<id> path segment check).
+func ValidTraceID(id string) bool {
+	return len(id) == traceIDHexLen && isLowerHex(id) && !allZero(id)
+}
+
+// String implements fmt.Stringer for debugging.
+func (d SpanData) String() string {
+	return fmt.Sprintf("%s/%s %s@%s %dns", d.TraceID, d.SpanID, d.Name, d.Node, d.Dur)
+}

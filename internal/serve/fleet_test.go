@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/fleet"
+	"repro/internal/otrace"
 )
 
 // syncBuffer is a log sink safe to read while the server writes.
@@ -75,7 +76,7 @@ func newFleetNode(t *testing.T, id string, peers []string, interval time.Duratio
 	if err != nil {
 		t.Fatal(err)
 	}
-	n.s, err = New(Config{Cache: store, Workers: 2, Fleet: n.f, Log: log.New(n.logs, "", 0)})
+	n.s, err = New(Config{Cache: store, Workers: 2, Fleet: n.f, Log: slog.New(slog.NewJSONHandler(n.logs, nil))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,12 +289,21 @@ func TestFleetRequestIDPropagation(t *testing.T) {
 	if got := resp.Header.Get("X-Fleet-Path"); got != "a>b" {
 		t.Fatalf("X-Fleet-Path = %q, want a>b", got)
 	}
+	// The trace ID travels with the request too: the response names the
+	// trace, and both nodes' structured logs carry it.
+	tid, _, ok := otrace.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatalf("response traceparent %q is malformed", resp.Header.Get("traceparent"))
+	}
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		la, lb := a.logs.String(), b.logs.String()
-		if strings.Contains(la, "id="+reqID) && strings.Contains(lb, "id="+reqID) {
-			if !strings.Contains(lb, "path=a>b") {
+		if strings.Contains(la, `"id":"`+reqID+`"`) && strings.Contains(lb, `"id":"`+reqID+`"`) {
+			if !strings.Contains(lb, `"path":"a>b"`) {
 				t.Fatalf("owner log lacks the hop path:\n%s", lb)
+			}
+			if !strings.Contains(la, `"trace":"`+tid+`"`) || !strings.Contains(lb, `"trace":"`+tid+`"`) {
+				t.Fatalf("trace ID %s not in both logs:\n--- a ---\n%s\n--- b ---\n%s", tid, la, lb)
 			}
 			break
 		}

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/otrace"
+)
+
+// TestMetricsRenderConcurrent hammers the text renderer while every
+// instrument kind mutates underneath it: scrapes must never tear, lose
+// an instrument, or trip the race detector (run with -race), and the
+// totals after the storm must account for every recorded sample —
+// including series born mid-scrape.
+func TestMetricsRenderConcurrent(t *testing.T) {
+	reg := newRegistry()
+	c := reg.counter("t_ops_total", "ops by worker and op")
+	g := reg.gauge("t_level", "a settable gauge")
+	h := reg.histogram("t_dur_seconds", "durations", []float64{0.001, 0.01, 0.1, 1})
+	reg.gaugeFunc("t_sampled", "a scrape-time gauge", func() float64 { return 1 })
+
+	const workers, iters = 8, 400
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				reg.writeTo(&buf)
+				out := buf.String()
+				// Every scrape is a complete exposition, whatever the
+				// mutators are doing.
+				for _, must := range []string{
+					"# TYPE t_ops_total counter",
+					"# TYPE t_dur_seconds histogram",
+					"t_sampled 1\n",
+				} {
+					if !strings.Contains(out, must) {
+						t.Errorf("concurrent scrape lost %q", must)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var mut sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		mut.Add(1)
+		go func(w int) {
+			defer mut.Done()
+			for i := 0; i < iters; i++ {
+				c.AddL(map[string]string{"worker": fmt.Sprintf("w%d", w%3), "op": fmt.Sprintf("op%d", i%5)}, 1)
+				g.Set(float64(i))
+				h.ObserveL(map[string]string{"span": fmt.Sprintf("s%d", i%4)}, float64(i%7)/100)
+				h.Observe(float64(i % 3))
+			}
+		}(w)
+	}
+	mut.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	var total float64
+	for w := 0; w < 3; w++ {
+		for op := 0; op < 5; op++ {
+			total += c.Value(map[string]string{"worker": fmt.Sprintf("w%d", w), "op": fmt.Sprintf("op%d", op)})
+		}
+	}
+	if total != workers*iters {
+		t.Errorf("counter lost samples under scrape load: %v, want %d", total, workers*iters)
+	}
+	if n := h.Count(nil); n != workers*iters {
+		t.Errorf("unlabeled histogram count %d, want %d", n, workers*iters)
+	}
+	for i := 0; i < 4; i++ {
+		if n := h.Count(map[string]string{"span": fmt.Sprintf("s%d", i)}); n != workers*iters/4 {
+			t.Errorf("series s%d count %d, want %d", i, n, workers*iters/4)
+		}
+	}
+}
+
+// TestSpanDurationHistogramEdges pins the span-duration histogram's
+// edge behaviour: an untouched histogram renders its full zero bucket
+// set, a sub-minimum observation lands in every cumulative bucket, an
+// observation beyond the top bound lands only in +Inf (the finite
+// buckets are clamped), and the tracer's OnEnd hook feeds the histogram
+// under the span's metric name.
+func TestSpanDurationHistogramEdges(t *testing.T) {
+	s := newTestServer(t, Config{})
+	scrape := func() string {
+		return post(t, s.Handler(), "/metrics", "").Body.String()
+	}
+
+	// Empty: the complete unlabeled zero series, +Inf included, so
+	// rate() works from the first real sample.
+	out := scrape()
+	for _, must := range []string{
+		`spind_span_duration_seconds_bucket{le="1e-05"} 0`,
+		`spind_span_duration_seconds_bucket{le="60"} 0`,
+		`spind_span_duration_seconds_bucket{le="+Inf"} 0`,
+		"spind_span_duration_seconds_count 0",
+	} {
+		if !strings.Contains(out, must) {
+			t.Errorf("empty histogram render missing %q:\n%s", must, out)
+		}
+	}
+
+	// Single bucket: one observation below the smallest bound shows up
+	// in every cumulative bucket of its series.
+	s.mSpanSeconds.ObserveL(map[string]string{"span": "edge"}, 5e-6)
+	out = scrape()
+	for _, le := range []string{"1e-05", "0.0001", "0.001", "0.01", "0.1", "0.5", "1", "5", "10", "30", "60", "+Inf"} {
+		want := fmt.Sprintf(`spind_span_duration_seconds_bucket{span="edge",le=%q} 1`, le)
+		if !strings.Contains(out, want) {
+			t.Errorf("single-bucket render missing %q", want)
+		}
+	}
+
+	// Max-clamped: an observation past the top bound increments only the
+	// +Inf overflow; every finite bucket keeps its prior count.
+	s.mSpanSeconds.ObserveL(map[string]string{"span": "edge"}, 3600)
+	out = scrape()
+	if !strings.Contains(out, `spind_span_duration_seconds_bucket{span="edge",le="60"} 1`) {
+		t.Error("over-max observation leaked into a finite bucket")
+	}
+	if !strings.Contains(out, `spind_span_duration_seconds_bucket{span="edge",le="+Inf"} 2`) {
+		t.Error("over-max observation missing from the +Inf overflow")
+	}
+	if !strings.Contains(out, `spind_span_duration_seconds_count{span="edge"} 2`) {
+		t.Error("series count did not follow the observations")
+	}
+
+	// The tracer feeds the histogram on span end, under the span's
+	// metric name — per-peer names like proxy:b collapse onto one label.
+	root := s.tracer.StartRequest("probe", "")
+	hop := root.StartChild("proxy:some-peer")
+	hop.SetMetricName("proxy")
+	hop.End()
+	root.End()
+	if n := s.mSpanSeconds.Count(map[string]string{"span": "probe"}); n != 1 {
+		t.Errorf("root span not observed under its name: count %d", n)
+	}
+	if n := s.mSpanSeconds.Count(map[string]string{"span": "proxy"}); n != 1 {
+		t.Errorf("hop span not collapsed onto its metric name: count %d", n)
+	}
+	if n := s.mSpanSeconds.Count(map[string]string{"span": "proxy:some-peer"}); n != 0 {
+		t.Errorf("per-peer span name leaked into the label set: count %d", n)
+	}
+}
+
+// TestTraceServerEnvelope pins the ?trace=server contract: the response
+// becomes a {trace_id, spans, result} envelope whose result is the
+// exact simulation payload, the span tree covers the request stages,
+// and the cache below stores only the inner bytes — a repeat without
+// the flag is a plain hit.
+func TestTraceServerEnvelope(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := post(t, s.Handler(), "/v1/simulate?trace=server", smallScenario)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var doc traceResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("response is not a trace envelope: %v", err)
+	}
+	if !otrace.ValidTraceID(doc.TraceID) {
+		t.Fatalf("envelope trace ID %q invalid", doc.TraceID)
+	}
+	names := map[string]bool{}
+	for _, sp := range doc.Spans {
+		if sp.TraceID != doc.TraceID {
+			t.Errorf("span %s belongs to trace %s, envelope says %s", sp.Name, sp.TraceID, doc.TraceID)
+		}
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"simulate", "decode", "validate", "queue_wait", "compute", "cache"} {
+		if !names[want] {
+			t.Errorf("envelope missing span %q (have %v)", want, names)
+		}
+	}
+	var inner SimResponse
+	if err := json.Unmarshal(doc.Result, &inner); err != nil || inner.Stats.Injected == 0 {
+		t.Fatalf("envelope result is not the simulation payload: %v", err)
+	}
+
+	// The envelope is presentation-only: the cache stored the inner
+	// bytes, so an untraced repeat is a hit with the plain payload.
+	plain := post(t, s.Handler(), "/v1/simulate", smallScenario)
+	if got := plain.Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("untraced repeat X-Cache = %q, want hit (envelope leaked into the cache)", got)
+	}
+	if strings.Contains(plain.Body.String(), `"trace_id"`) {
+		t.Error("plain response carries the trace envelope")
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, plain.Body.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var envCompact bytes.Buffer
+	if err := json.Compact(&envCompact, doc.Result); err != nil {
+		t.Fatal(err)
+	}
+	if compact.String() != envCompact.String() {
+		t.Error("envelope result differs from the cached payload")
+	}
+}
+
+// fetchTrace GETs /v1/trace/<id> from one fleet node (404 -> empty doc).
+func fetchTrace(t *testing.T, n *fleetNode, id, query string) traceResponse {
+	t.Helper()
+	resp, err := http.Get("http://" + n.addr + "/v1/trace/" + id + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc traceResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("trace response undecodable: %v", err)
+		}
+	}
+	return doc
+}
+
+// spanNodes reports the distinct node IDs a span set covers.
+func spanNodes(spans []otrace.SpanData) map[string]bool {
+	nodes := map[string]bool{}
+	for _, sp := range spans {
+		nodes[sp.Node] = true
+	}
+	return nodes
+}
+
+// TestFleetMergedTraceTimeline pins the cross-node acceptance criterion:
+// one proxied request yields, from either node, a merged span tree
+// covering both nodes, with the peer's root span stitched under the
+// proxy hop span, and a Perfetto-loadable rendering with one process
+// lane per node.
+func TestFleetMergedTraceTimeline(t *testing.T) {
+	a := newFleetNode(t, "a", nil, 25*time.Millisecond)
+	b := newFleetNode(t, "b", []string{a.addr}, 25*time.Millisecond)
+	converge(t, a, b)
+
+	seed := pickSeed(t, a, "b") // b owns it; a proxies
+	resp, body := postNode(t, a, "/v1/simulate", simBody(seed), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Fleet"); got != "proxy:b" {
+		t.Fatalf("X-Fleet = %q, want proxy:b", got)
+	}
+	tid, _, ok := otrace.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatalf("response traceparent %q malformed", resp.Header.Get("traceparent"))
+	}
+
+	// Root spans land in each node's ring when the request ends — after
+	// the response body is written — so the merged view converges a beat
+	// after the client sees the bytes.
+	var doc traceResponse
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		doc = fetchTrace(t, a, tid, "")
+		if n := spanNodes(doc.Spans); n["a"] && n["b"] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("merged trace never covered both nodes: %+v", doc.Spans)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	byID := map[string]otrace.SpanData{}
+	var proxySpan, peerRoot *otrace.SpanData
+	for i := range doc.Spans {
+		sp := doc.Spans[i]
+		if sp.TraceID != tid {
+			t.Errorf("span %s carries trace %s, want %s", sp.Name, sp.TraceID, tid)
+		}
+		byID[sp.SpanID] = sp
+		if sp.Node == "a" && sp.Name == "proxy:b" {
+			proxySpan = &doc.Spans[i]
+		}
+		if sp.Node == "b" && sp.Name == "simulate" {
+			peerRoot = &doc.Spans[i]
+		}
+	}
+	if proxySpan == nil || peerRoot == nil {
+		t.Fatalf("merged trace lacks the hop pair (proxy=%v peerRoot=%v):\n%+v", proxySpan, peerRoot, doc.Spans)
+	}
+	// The stitch: b's root is a child of a's proxy span, which is itself
+	// rooted in a's request span. One connected tree across two nodes.
+	if peerRoot.Parent != proxySpan.SpanID {
+		t.Errorf("peer root parent %s, want the proxy span %s", peerRoot.Parent, proxySpan.SpanID)
+	}
+	if parent, ok := byID[proxySpan.Parent]; !ok || parent.Node != "a" || parent.Name != "simulate" {
+		t.Errorf("proxy span not rooted in a's request span (parent %q)", proxySpan.Parent)
+	}
+
+	// The same merged view is reachable from the peer: collection fans
+	// out regardless of which node the operator asks.
+	fromB := fetchTrace(t, b, tid, "")
+	if n := spanNodes(fromB.Spans); !n["a"] || !n["b"] {
+		t.Errorf("trace fetched from b covers %v, want both nodes", n)
+	}
+
+	// Perfetto rendering: valid Chrome trace-event JSON, one pid lane
+	// per node so the two sides sit in separate tracks.
+	pres, err := http.Get("http://" + a.addr + "/v1/trace/" + tid + "?format=perfetto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pres.Body.Close()
+	var chrome struct {
+		TraceEvents []struct {
+			Pid  int    `json:"pid"`
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(pres.Body).Decode(&chrome); err != nil {
+		t.Fatalf("perfetto rendering is not valid JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph == "X" {
+			pids[ev.Pid] = true
+		}
+	}
+	if len(pids) < 2 {
+		t.Errorf("perfetto timeline has %d process lanes, want one per node (>=2)", len(pids))
+	}
+}

@@ -20,7 +20,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/fleet"
 	"repro/internal/harness"
+	"repro/internal/otrace"
 	"repro/internal/runner"
 	"repro/internal/sim"
 )
@@ -62,13 +64,15 @@ type Config struct {
 	// MaxCycles rejects requests asking for more simulated cycles than
 	// the deployment wants to pay for (0 = 2,000,000).
 	MaxCycles int64
-	// Log, when non-nil, receives one structured line per request:
-	// request ID, endpoint, status code, cache outcome, job key, and
-	// duration. The request ID is echoed in the X-Request-ID header and
-	// in error bodies, so a client-reported failure is one grep away from
-	// its server-side line. With a fleet attached, the line also carries
-	// the peer-hop path and how the fleet satisfied the request.
-	Log *log.Logger
+	// Log, when non-nil, receives one structured record per request:
+	// request ID, endpoint, status code, cache outcome, job key,
+	// duration, and the request's trace/span IDs — all as slog attrs, so
+	// a JSON handler yields machine-queryable request logs. The request
+	// ID is echoed in the X-Request-ID header and in error bodies, so a
+	// client-reported failure is one query away from its server-side
+	// record. With a fleet attached, the record also carries the peer-hop
+	// path and how the fleet satisfied the request.
+	Log *slog.Logger
 	// Fleet, when non-nil, joins this server to a spind fleet: requests
 	// consult the consistent-hash ring for their owner, fill from peer
 	// caches before simulating, and proxy to (or fall back from) the
@@ -188,6 +192,14 @@ type Server struct {
 	fleet    *fleet.Fleet
 	draining atomic.Bool
 
+	// tracer records every request's span tree into a bounded per-node
+	// ring (served by /v1/trace/<id>); mSpanSeconds is the per-span-name
+	// duration histogram its OnEnd hook feeds. build is the daemon's
+	// identity, resolved once (served by /v1/version and gossiped).
+	tracer       *otrace.Tracer
+	mSpanSeconds *histogram
+	build        BuildInfo
+
 	reqSeq atomic.Uint64 // request-ID sequence (satellite: request logging)
 
 	// testCompute, when set (tests only), replaces the simulation body
@@ -215,6 +227,15 @@ func New(cfg Config) (*Server, error) {
 		cfg.QueueSize = 4 * workers
 	}
 	s := &Server{cfg: cfg, store: cfg.Cache, mux: http.NewServeMux(), start: time.Now(), reg: newRegistry(), fleet: cfg.Fleet}
+	s.build = ReadBuild()
+
+	// The tracer's node name is the fleet identity when there is one, so
+	// spans merged across nodes say which daemon ran them.
+	node := "spind"
+	if s.fleet != nil {
+		node = s.fleet.SelfID()
+	}
+	s.tracer = otrace.NewTracer(node, 0)
 
 	// Resolve the parallelism budget: request-level workers multiply
 	// with per-simulation shards, so cap the shard count to keep the
@@ -252,6 +273,16 @@ func New(cfg Config) (*Server, error) {
 	s.mSimDeadlocks = s.reg.counter("spind_sim_deadlock_firings_total", "Deadlock-oracle firings observed by executed simulations (checked requests only).")
 	s.mSimLatency = s.reg.histogram("spind_sim_packet_latency_cycles", "Packet-latency percentiles (quantile label) per executed simulation, in cycles.",
 		[]float64{10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 100000})
+	s.mSpanSeconds = s.reg.histogram("spind_span_duration_seconds", "Request span durations by span name (per-peer spans collapse onto one label).",
+		[]float64{1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1, 5, 10, 30, 60})
+	s.tracer.OnEnd(func(d otrace.SpanData) {
+		s.mSpanSeconds.ObserveL(map[string]string{"span": d.MetricName()}, float64(d.Dur)/1e9)
+	})
+	s.reg.collectorFunc(func(w io.Writer) {
+		fmt.Fprintf(w, "# HELP spind_build_info Build identity of this daemon (value is always 1; the labels carry the information).\n")
+		fmt.Fprintf(w, "# TYPE spind_build_info gauge\n")
+		fmt.Fprintf(w, "spind_build_info{version=%q,commit=%q,go=%q} 1\n", s.build.Version, s.build.Commit, s.build.Go)
+	})
 	snap := func(f func(cache.Stats) float64) func() float64 {
 		return func() float64 { return f(s.store.Snapshot()) }
 	}
@@ -288,6 +319,8 @@ func New(cfg Config) (*Server, error) {
 
 	s.mux.HandleFunc("/v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/trace/", s.instrument("trace", s.handleTrace))
+	s.mux.HandleFunc("/v1/version", s.instrument("version", s.handleVersion))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -339,6 +372,9 @@ type reqInfo struct {
 	key   string
 	fleet string // "-", "owner", "fill:<peer>", "proxy:<peer>", "fallback"
 	path  string // hop path, e.g. "nodeA>nodeB" ("" without a fleet)
+	// span is the request's root span; handlers hang child spans off it
+	// (decode, validate, cache, queue_wait, compute, fill/proxy hops).
+	span *otrace.Span
 }
 
 type reqInfoKey struct{}
@@ -349,6 +385,15 @@ func requestInfo(r *http.Request) *reqInfo {
 	return info
 }
 
+// requestSpan retrieves the request's root span (nil outside
+// instrument; every Span method is nil-safe, so callers never guard).
+func requestSpan(r *http.Request) *otrace.Span {
+	if info := requestInfo(r); info != nil {
+		return info.span
+	}
+	return nil
+}
+
 // nextRequestID mints a process-unique request ID: a start-time salt so
 // IDs from different daemon runs don't collide in aggregated logs, plus
 // a sequence number.
@@ -357,10 +402,13 @@ func (s *Server) nextRequestID() string {
 }
 
 // instrument wraps a handler with the request counter, the latency
-// histogram, the request-ID header, and the per-request log line. An
-// incoming X-Request-ID (a client correlation ID, or a peer hop inside
-// the fleet) is adopted instead of minting a new one, so one ID follows
-// a request across every node it touches.
+// histogram, the request-ID header, the request's root span, and the
+// per-request log record. An incoming X-Request-ID (a client
+// correlation ID, or a peer hop inside the fleet) is adopted instead of
+// minting a new one, so one ID follows a request across every node it
+// touches; an incoming traceparent likewise parents this request's root
+// span under the caller's hop span, which is what stitches per-node
+// span trees into one cross-fleet timeline.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -369,23 +417,37 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			id = s.nextRequestID()
 		}
 		info := &reqInfo{id: id, cache: "-", key: "-", fleet: "-"}
+		info.span = s.tracer.StartRequest(endpoint, r.Header.Get(fleet.HeaderTraceparent))
+		info.span.SetAttr("request_id", info.id)
 		if s.fleet != nil {
 			info.path = fleet.AppendPath(r.Header.Get(fleet.HeaderPath), s.fleet.SelfID())
 		}
 		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info))
 		w.Header().Set("X-Request-ID", info.id)
+		w.Header().Set(fleet.HeaderTraceparent, info.span.Traceparent())
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		dur := time.Since(start)
 		s.mRequests.AddL(map[string]string{"endpoint": endpoint, "code": fmt.Sprint(sw.code)}, 1)
 		s.mReqSeconds.ObserveL(map[string]string{"endpoint": endpoint}, dur.Seconds())
+		info.span.SetAttr("code", fmt.Sprint(sw.code))
+		info.span.SetAttr("cache", info.cache)
+		info.span.End()
 		if s.cfg.Log != nil {
-			line := fmt.Sprintf("req id=%s endpoint=%s code=%d cache=%s key=%s dur=%s",
-				info.id, endpoint, sw.code, info.cache, info.key, dur.Round(time.Microsecond))
-			if s.fleet != nil {
-				line += fmt.Sprintf(" fleet=%s path=%s", info.fleet, info.path)
+			args := []any{
+				slog.String("id", info.id),
+				slog.String("endpoint", endpoint),
+				slog.Int("code", sw.code),
+				slog.String("cache", info.cache),
+				slog.String("key", info.key),
+				slog.Duration("dur", dur.Round(time.Microsecond)),
+				slog.String("trace", info.span.TraceID()),
+				slog.String("span", info.span.SpanID()),
 			}
-			s.cfg.Log.Print(line)
+			if s.fleet != nil {
+				args = append(args, slog.String("fleet", info.fleet), slog.String("path", info.path))
+			}
+			s.cfg.Log.Info("request", args...)
 		}
 	}
 }
@@ -470,14 +532,21 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, r, "POST a scenario JSON body", http.StatusMethodNotAllowed)
 		return
 	}
+	span := requestSpan(r)
 	var req SimRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	ds := span.StartChild("decode")
+	err := dec.Decode(&req)
+	ds.End()
+	if err != nil {
 		httpError(w, r, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := req.Validate(); err != nil {
+	vs := span.StartChild("validate")
+	err = req.Validate()
+	vs.End()
+	if err != nil {
 		httpError(w, r, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -500,12 +569,18 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
-		return s.pool.Submit(ctx, runner.Job[[]byte]{Key: key, Run: func(jctx context.Context, _ int64) ([]byte, error) {
+		qw := span.StartChild("queue_wait")
+		b, err := s.pool.Submit(ctx, runner.Job[[]byte]{Key: key, Run: func(jctx context.Context, _ int64) ([]byte, error) {
+			qw.End() // the job was dequeued: the wait is over
+			cs := span.StartChild("compute")
+			defer cs.End()
 			if s.testCompute != nil {
 				return s.testCompute(jctx, n)
 			}
-			return s.runSimulation(jctx, n, key)
+			return s.runSim(jctx, n, key, 0, nil, cs)
 		}})
+		qw.End() // a rejected submit records the wasted wait
+		return b, err
 	}, &fleet.ProxySpec{Path: "/v1/simulate", Body: n.canonical()})
 }
 
@@ -530,8 +605,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := cache.KeyOf(ResultVersion+"/sweep", n.Canonical())
+	span := requestSpan(r)
 	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
-		return s.pool.Submit(ctx, runner.Job[[]byte]{Key: key, Run: func(jctx context.Context, _ int64) ([]byte, error) {
+		qw := span.StartChild("queue_wait")
+		b, err := s.pool.Submit(ctx, runner.Job[[]byte]{Key: key, Run: func(jctx context.Context, _ int64) ([]byte, error) {
+			qw.End()
+			cs := span.StartChild("compute")
+			defer cs.End()
 			o := n.Options()
 			o.Workers = s.cfg.Workers
 			o.Shards = s.shardsEff
@@ -542,12 +622,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			// The figure's canonical JSON IS the response body — the
 			// same bytes spinsweep -json prints, so CLI and API can
 			// never drift.
+			es := cs.StartChild("encode")
+			defer es.End()
 			var buf bytes.Buffer
 			if err := exp.EncodeJSON(&buf, v); err != nil {
 				return nil, err
 			}
 			return buf.Bytes(), nil
 		}})
+		qw.End()
+		return b, err
 	}, &fleet.ProxySpec{Path: "/v1/sweep", Body: n.Canonical()})
 }
 
@@ -559,26 +643,42 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // locally (see fleetCompute).
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(context.Context) ([]byte, error), proxy *fleet.ProxySpec) {
 	info := requestInfo(r)
+	var span *otrace.Span
 	if info != nil {
 		info.key = key
+		span = info.span
 	}
+	// One span covers lookup, singleflight join, and any led computation
+	// — its children (queue_wait, compute, fill/proxy) say which of
+	// those it was; the outcome attr says how the cache answered.
+	cs := span.StartChild("cache")
 	body, outcome, err := s.store.Do(r.Context(), key, s.fleetCompute(r, info, key, compute, proxy))
 	if err != nil {
 		if info != nil {
 			info.cache = "error"
 		}
+		cs.SetAttr("outcome", "error")
+		cs.End()
 		s.writeError(w, r, key, err)
 		return
 	}
 	if info != nil {
 		info.cache = outcome.String()
 	}
+	cs.SetAttr("outcome", outcome.String())
+	cs.End()
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", outcome.String())
 	w.Header().Set("X-Cache-Key", key)
 	if s.fleet != nil && info != nil {
 		w.Header().Set("X-Fleet", info.fleet)
 		w.Header().Set(fleet.HeaderPath, info.path)
+	}
+	if r.URL.Query().Get("trace") == "server" {
+		// The wrapper is assembled after Do, so the cache stores (and
+		// fills/backfills ship) only the inner result bytes — tracing a
+		// request never perturbs what the fleet caches.
+		body = s.wrapServerTrace(span, body)
 	}
 	w.Write(body)
 }
@@ -606,8 +706,10 @@ func (s *Server) fleetCompute(r *http.Request, info *reqInfo, key string, comput
 		return compute
 	}
 	var reqID, hopPath string
+	var span *otrace.Span
 	if info != nil {
 		reqID, hopPath = info.id, info.path
+		span = info.span
 	}
 	return func(ctx context.Context) ([]byte, error) {
 		owner, ok := s.fleet.Owner(key)
@@ -617,14 +719,27 @@ func (s *Server) fleetCompute(r *http.Request, info *reqInfo, key string, comput
 			}
 			return compute(ctx)
 		}
-		if b, peer, ok := s.fleet.Fill(ctx, key, reqID, hopPath); ok {
+		// Each peer hop gets its own span, and the hop carries that
+		// span's traceparent: whatever the peer records becomes a child
+		// of the hop, not of the whole request.
+		fs := span.StartChild("fill")
+		b, peer, hit := s.fleet.Fill(ctx, key, fleet.Hop{ReqID: reqID, Path: hopPath, Traceparent: fs.Traceparent()})
+		if hit {
+			fs.SetAttr("peer", peer)
+			fs.End()
 			if info != nil {
 				info.fleet = "fill:" + peer
 			}
 			return b, nil
 		}
+		fs.SetAttr("outcome", "miss")
+		fs.End()
 		if proxy != nil && owner.State == fleet.StateAlive {
-			if b, upPath, err := s.fleet.Proxy(ctx, owner, *proxy, reqID, hopPath); err == nil {
+			ps := span.StartChild("proxy:" + owner.ID)
+			ps.SetMetricName("proxy")
+			b, upPath, err := s.fleet.Proxy(ctx, owner, *proxy, fleet.Hop{ReqID: reqID, Path: hopPath, Traceparent: ps.Traceparent()})
+			if err == nil {
+				ps.End()
 				if info != nil {
 					info.fleet = "proxy:" + owner.ID
 					if upPath != "" {
@@ -633,6 +748,8 @@ func (s *Server) fleetCompute(r *http.Request, info *reqInfo, key string, comput
 				}
 				return b, nil
 			}
+			ps.SetAttr("error", err.Error())
+			ps.End()
 			// Proxy failure is already counted and logged by the fleet;
 			// fall through to local compute.
 		}
@@ -675,20 +792,17 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, key string, 
 	}
 }
 
-// runSimulation executes one canonical scenario and renders the
-// response bytes that get cached.
-func (s *Server) runSimulation(ctx context.Context, req SimRequest, key string) ([]byte, error) {
-	return s.runSim(ctx, req, key, 0, nil)
-}
-
 // runSim is the shared simulation body. When onSample is non-nil (the
 // SSE streaming path), the run is chunked at epoch-window granularity
 // and each freshly closed time-series window is delivered to onSample
 // as the simulation progresses. Chunked stepping is state-for-state
 // identical to one Run call and the window sampler is observational, so
 // the rendered response bytes — the value that gets cached — are
-// byte-identical with and without streaming.
-func (s *Server) runSim(ctx context.Context, req SimRequest, key string, streamWindow int64, onSample func(sim.WindowSample)) ([]byte, error) {
+// byte-identical with and without streaming. span, when non-nil, gets
+// per-epoch child spans on chunked runs plus an encode span (span is
+// passed explicitly, not via ctx: the singleflight leader's ctx is
+// detached from the request that started the span).
+func (s *Server) runSim(ctx context.Context, req SimRequest, key string, streamWindow int64, onSample func(sim.WindowSample), span *otrace.Span) ([]byte, error) {
 	start := time.Now()
 	sc := req.Scenario
 	// SimShards attaches whatever traffic source the scenario carries —
@@ -727,7 +841,11 @@ func (s *Server) runSim(ctx context.Context, req SimRequest, key string, streamW
 		topt.Probe = &oracle
 	}
 	tele := simulation.Network().AttachTelemetry(topt)
-	if onSample == nil {
+	// Traced telemetry requests also run chunked (identical state, see
+	// above) so each epoch window becomes a child span — the Perfetto
+	// view then shows where inside the simulation the time went.
+	chunked := onSample != nil || (span != nil && topt.Window > 0)
+	if !chunked {
 		if err := runner.Cycles(ctx, simulation.Run, sc.Cycles); err != nil {
 			return nil, err
 		}
@@ -738,13 +856,19 @@ func (s *Server) runSim(ctx context.Context, req SimRequest, key string, streamW
 			if rem := sc.Cycles - done; rem < chunk {
 				chunk = rem
 			}
-			if err := runner.Cycles(ctx, simulation.Run, chunk); err != nil {
+			es := span.StartChild("epoch")
+			es.SetMetricName("epoch")
+			err := runner.Cycles(ctx, simulation.Run, chunk)
+			es.End()
+			if err != nil {
 				return nil, err
 			}
 			done += chunk
-			if ts := tele.TimeSeries(); ts != nil {
-				for ; emitted < len(ts.Samples); emitted++ {
-					onSample(ts.Samples[emitted])
+			if onSample != nil {
+				if ts := tele.TimeSeries(); ts != nil {
+					for ; emitted < len(ts.Samples); emitted++ {
+						onSample(ts.Samples[emitted])
+					}
 				}
 			}
 		}
@@ -785,6 +909,8 @@ func (s *Server) runSim(ctx context.Context, req SimRequest, key string, streamW
 	s.observeSimulator(st, tele, oracle.firings)
 	s.mSimCycles.Observe(float64(sc.Cycles))
 	s.mSimSeconds.Observe(time.Since(start).Seconds())
+	es := span.StartChild("encode")
+	defer es.End()
 	var buf bytes.Buffer
 	if err := exp.EncodeJSON(&buf, resp); err != nil {
 		return nil, err

@@ -114,6 +114,7 @@ func (s *Server) handleSimulateSSE(w http.ResponseWriter, r *http.Request, req, 
 		return
 	}
 	info := requestInfo(r)
+	span := requestSpan(r)
 	if info != nil {
 		info.key = key
 	}
@@ -126,7 +127,11 @@ func (s *Server) handleSimulateSSE(w http.ResponseWriter, r *http.Request, req, 
 
 	window := streamWindowFor(req, n)
 	compute := func(ctx context.Context) ([]byte, error) {
-		return s.pool.Submit(ctx, runner.Job[[]byte]{Key: key, Run: func(jctx context.Context, _ int64) ([]byte, error) {
+		qw := span.StartChild("queue_wait")
+		b, err := s.pool.Submit(ctx, runner.Job[[]byte]{Key: key, Run: func(jctx context.Context, _ int64) ([]byte, error) {
+			qw.End()
+			cs := span.StartChild("compute")
+			defer cs.End()
 			if s.testCompute != nil {
 				return s.testCompute(jctx, n)
 			}
@@ -136,8 +141,10 @@ func (s *Server) handleSimulateSSE(w http.ResponseWriter, r *http.Request, req, 
 					return
 				}
 				sw.event("sample", b)
-			})
+			}, cs)
 		}})
+		qw.End()
+		return b, err
 	}
 
 	// Do blocks until the flight finishes; run it aside so this handler

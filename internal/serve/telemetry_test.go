@@ -3,7 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
-	"log"
+	"log/slog"
 	"net/http"
 	"regexp"
 	"strings"
@@ -107,13 +107,25 @@ func TestSimulateEpochValidation(t *testing.T) {
 	}
 }
 
-// TestRequestLogging covers the structured per-request log line: one
-// line per request carrying the ID (echoed in the X-Request-ID header),
-// endpoint, status, cache outcome, job key, and duration; and error
-// bodies referencing the same ID.
+// reqRecord is the decoded shape of one structured request log record.
+type reqRecord struct {
+	Msg      string `json:"msg"`
+	ID       string `json:"id"`
+	Endpoint string `json:"endpoint"`
+	Code     int    `json:"code"`
+	Cache    string `json:"cache"`
+	Key      string `json:"key"`
+	Trace    string `json:"trace"`
+	Span     string `json:"span"`
+}
+
+// TestRequestLogging covers the structured per-request log record: one
+// JSON object per request carrying the ID (echoed in the X-Request-ID
+// header), endpoint, status, cache outcome, job key, and the trace/span
+// IDs; and error bodies referencing the same ID.
 func TestRequestLogging(t *testing.T) {
 	var buf bytes.Buffer
-	s := newTestServer(t, Config{Log: log.New(&buf, "", 0)})
+	s := newTestServer(t, Config{Log: slog.New(slog.NewJSONHandler(&buf, nil))})
 
 	miss := post(t, s.Handler(), "/v1/simulate", smallScenario)
 	if miss.Code != http.StatusOK {
@@ -130,32 +142,39 @@ func TestRequestLogging(t *testing.T) {
 
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != 3 {
-		t.Fatalf("want 3 log lines, got %d:\n%s", len(lines), buf.String())
+		t.Fatalf("want 3 log records, got %d:\n%s", len(lines), buf.String())
 	}
-	lineFormat := regexp.MustCompile(`^req id=\S+ endpoint=simulate code=\d+ cache=\S+ key=\S+ dur=\S+$`)
+	recs := make([]reqRecord, len(lines))
+	hexID := regexp.MustCompile(`^[0-9a-f]{32}$`)
 	for i, l := range lines {
-		if !lineFormat.MatchString(l) {
-			t.Errorf("line %d malformed: %q", i, l)
+		if err := json.Unmarshal([]byte(l), &recs[i]); err != nil {
+			t.Fatalf("record %d is not JSON: %q (%v)", i, l, err)
+		}
+		if recs[i].Msg != "request" || recs[i].Endpoint != "simulate" || recs[i].ID == "" {
+			t.Errorf("record %d malformed: %+v", i, recs[i])
+		}
+		if !hexID.MatchString(recs[i].Trace) || len(recs[i].Span) != 16 {
+			t.Errorf("record %d lacks trace/span IDs: %+v", i, recs[i])
 		}
 	}
-	keyed := regexp.MustCompile(`key=[0-9a-f]{64} `)
-	if !strings.Contains(lines[0], "code=200 cache=miss ") || !keyed.MatchString(lines[0]) {
-		t.Errorf("miss line wrong: %q", lines[0])
+	keyed := regexp.MustCompile(`^[0-9a-f]{64}$`)
+	if recs[0].Code != 200 || recs[0].Cache != "miss" || !keyed.MatchString(recs[0].Key) {
+		t.Errorf("miss record wrong: %+v", recs[0])
 	}
-	if !strings.Contains(lines[1], "code=200 cache=hit ") || !keyed.MatchString(lines[1]) {
-		t.Errorf("hit line wrong: %q", lines[1])
+	if recs[1].Code != 200 || recs[1].Cache != "hit" || !keyed.MatchString(recs[1].Key) {
+		t.Errorf("hit record wrong: %+v", recs[1])
 	}
-	if !strings.Contains(lines[2], "code=400 cache=- key=-") {
-		t.Errorf("reject line wrong: %q", lines[2])
+	if recs[2].Code != 400 || recs[2].Cache != "-" || recs[2].Key != "-" {
+		t.Errorf("reject record wrong: %+v", recs[2])
 	}
 
-	// The header ID, the log-line ID, and the error-body ID all agree.
+	// The header ID, the log-record ID, and the error-body ID all agree.
 	badID := bad.Header().Get("X-Request-ID")
 	if badID == "" {
 		t.Fatal("no X-Request-ID header")
 	}
-	if !strings.Contains(lines[2], "id="+badID+" ") {
-		t.Errorf("log line does not carry header ID %s: %q", badID, lines[2])
+	if recs[2].ID != badID {
+		t.Errorf("log record carries ID %s, header says %s", recs[2].ID, badID)
 	}
 	if !strings.Contains(bad.Body.String(), "(request "+badID+")") {
 		t.Errorf("error body does not echo request ID: %q", bad.Body.String())

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"repro/internal/otrace"
+	"repro/internal/telemetry"
+)
+
+// This file is the trace-retrieval surface: GET /v1/trace/<id> returns
+// a trace's spans from this node's bounded ring and — with a fleet —
+// merges in every peer's spans for the same trace, so one request's
+// whole cross-node tree comes back from any node it touched. The same
+// span set renders two ways: plain JSON (the default) or Chrome
+// trace-event JSON (?format=perfetto) that loads directly in Perfetto,
+// one process lane per node.
+
+// traceResponse is the JSON envelope of /v1/trace/<id> and of the
+// ?trace=server echo on /v1/simulate.
+type traceResponse struct {
+	TraceID string            `json:"trace_id"`
+	Spans   []otrace.SpanData `json:"spans"`
+	// Result carries the simulation response when the envelope wraps a
+	// live request (?trace=server); absent on after-the-fact fetches.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// handleTrace is GET /v1/trace/<id>. ?local=1 restricts to this node's
+// ring (the form nodes use when fanning out to peers, so collection
+// never recurses); ?format=perfetto renders the Chrome trace-event
+// form.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, r, "GET a trace by ID", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	if !otrace.ValidTraceID(id) {
+		httpError(w, r, "bad trace ID: want 32 lowercase hex chars", http.StatusBadRequest)
+		return
+	}
+	spans := s.tracer.Trace(id)
+	if s.fleet != nil && r.URL.Query().Get("local") != "1" {
+		for _, b := range s.fleet.CollectPeers(r.Context(), "/v1/trace/"+id+"?local=1") {
+			var doc traceResponse
+			if json.Unmarshal(b, &doc) == nil {
+				spans = append(spans, doc.Spans...)
+			}
+		}
+		otrace.SortSpans(spans)
+	}
+	if len(spans) == 0 {
+		httpError(w, r, "unknown trace (expired from the ring, or never sampled here)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("format") == "perfetto" {
+		telemetry.WriteSpanTrace(w, spans)
+		return
+	}
+	json.NewEncoder(w).Encode(traceResponse{TraceID: id, Spans: spans})
+}
+
+// wrapServerTrace wraps response bytes in the trace envelope: the spans
+// this node has recorded for the request's trace plus a live snapshot
+// of the still-open root span. Peer spans are not fetched here — the
+// client has the trace ID and can GET /v1/trace/<id> for the merged
+// tree once the hop spans land.
+func (s *Server) wrapServerTrace(span *otrace.Span, body []byte) []byte {
+	if span == nil {
+		return body
+	}
+	spans := s.tracer.Trace(span.TraceID())
+	if d, ok := span.Snapshot(); ok {
+		spans = append(spans, d)
+	}
+	otrace.SortSpans(spans)
+	out, err := json.Marshal(traceResponse{TraceID: span.TraceID(), Spans: spans, Result: body})
+	if err != nil {
+		return body
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the daemon's build identity as the Go runtime reports
+// it: module version, VCS commit (shortened), and toolchain. It backs
+// GET /v1/version, the spind_build_info metric, and the version string
+// gossiped to fleet peers — three views of one answer to "what exactly
+// is running on that node?".
+type BuildInfo struct {
+	Version string `json:"version"`
+	Commit  string `json:"commit,omitempty"`
+	Go      string `json:"go"`
+}
+
+// String renders "version+commit", the compact form fleet members
+// gossip and /v1/fleet displays.
+func (b BuildInfo) String() string {
+	if b.Commit != "" {
+		return b.Version + "+" + b.Commit
+	}
+	return b.Version
+}
+
+// ReadBuild resolves the build identity via runtime/debug.ReadBuildInfo.
+// Binaries built without module or VCS stamping (go test, plain go
+// build in a work tree) degrade to "devel" with no commit.
+func ReadBuild() BuildInfo {
+	b := BuildInfo{Version: "devel", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		b.Version = v
+	}
+	for _, st := range bi.Settings {
+		if st.Key == "vcs.revision" && st.Value != "" {
+			rev := st.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			b.Commit = rev
+		}
+	}
+	return b
+}
+
+// handleVersion is GET /v1/version.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, r, "GET", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.build)
+}

@@ -209,6 +209,10 @@ func (c *InvariantChecker) report(rule, format string, args ...any) {
 		Rule:   rule,
 		Detail: fmt.Sprintf(format, args...),
 	})
+	// First violation freezes the flight recorder (no-op when none is
+	// attached): the ring and VC chain at the moment of failure are the
+	// forensics artifact.
+	c.net.CaptureForensics(rule)
 }
 
 // endOfStep runs at the end of Network.Step, after switch allocation.

@@ -1,0 +1,227 @@
+package sim
+
+import "math/bits"
+
+// The flight recorder is the always-on crash-safe half of the
+// observability layer: a fixed-size masked ring of SPIN protocol events
+// (probes and state-machine sends, kills, spins, per-VC freeze
+// transitions, oracle firings) that costs zero allocations in steady
+// state. When the invariant checker fires — or a recovery outlives its
+// bound, which reaches the same report path — the ring is snapshotted
+// together with the frozen/spinning-VC chain into a ForensicsSnapshot
+// that internal/harness wraps into a replayable forensics-<key>.json
+// artifact.
+
+// flightKindMask selects the SPIN protocol kinds the recorder keeps:
+// everything the recovery machinery does, nothing per-flit.
+const flightKindMask uint64 = 1<<EvSMSend | 1<<EvSMDrop | 1<<EvSMDeliver |
+	1<<EvVCFreeze | 1<<EvVCUnfreeze | 1<<EvSpinStart | 1<<EvSpinEnd |
+	1<<EvOracleDeadlock
+
+// FlightRecorder is a bounded ring of SPIN protocol events. Attach one
+// with Network.AttachFlightRecorder (or TelemetryOptions.Recorder); the
+// hot path writes into preallocated slots through a power-of-two index
+// mask, so steady-state recording never allocates.
+type FlightRecorder struct {
+	ring []Event
+	mask uint64
+	n    uint64 // events recorded (monotonic; ring index is n & mask)
+
+	snap *ForensicsSnapshot // first-failure snapshot, nil until triggered
+}
+
+// NewFlightRecorder builds a recorder holding the last capacity events
+// (rounded up to a power of two; <= 0 selects 1024).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	if capacity&(capacity-1) != 0 {
+		capacity = 1 << bits.Len(uint(capacity))
+	}
+	return &FlightRecorder{ring: make([]Event, capacity), mask: uint64(capacity - 1)}
+}
+
+// record stores one event if its kind is a SPIN protocol kind. It is
+// called from Telemetry.emit inside Network.Step and must not allocate.
+func (r *FlightRecorder) record(e Event) {
+	if flightKindMask&(1<<e.Kind) == 0 {
+		return
+	}
+	r.ring[r.n&r.mask] = e
+	r.n++
+}
+
+// Total reports how many SPIN events the recorder has seen (kept plus
+// overwritten).
+func (r *FlightRecorder) Total() uint64 { return r.n }
+
+// Cap reports the ring capacity.
+func (r *FlightRecorder) Cap() int { return len(r.ring) }
+
+// Events returns the retained events oldest-first (a copy).
+func (r *FlightRecorder) Events() []Event {
+	if r.n <= uint64(len(r.ring)) {
+		return append([]Event(nil), r.ring[:r.n]...)
+	}
+	at := r.n & r.mask
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[at:]...)
+	out = append(out, r.ring[:at]...)
+	return out
+}
+
+// Snapshot returns the forensics snapshot taken at the first invariant
+// failure, or nil if none fired.
+func (r *FlightRecorder) Snapshot() *ForensicsSnapshot { return r.snap }
+
+// VCForensics is the frozen point-in-time state of one virtual channel
+// involved in (or adjacent to) a recovery — the per-VC freeze state the
+// snapshot captures, plus the downstream grant that stitches individual
+// VCs into the spinning chain.
+type VCForensics struct {
+	Router   int  `json:"router"`
+	Port     int  `json:"port"`
+	VC       int  `json:"vc"`
+	Frozen   bool `json:"frozen,omitempty"`
+	Spinning bool `json:"spinning,omitempty"`
+	// Deadlocked marks membership in the global oracle's deadlocked set
+	// at snapshot time (a blocked VC that recovery never touched — the
+	// shape a disabled or defeated protocol leaves behind).
+	Deadlocked bool `json:"deadlocked,omitempty"`
+	// Packet is the resident (front) packet ID, 0 when the VC is empty.
+	Packet   uint64 `json:"packet,omitempty"`
+	BufLen   int    `json:"buf_len"`
+	InFlight int    `json:"in_flight,omitempty"`
+	// OutPort is the granted output port (-1 before allocation); the
+	// Down* triple names the downstream VC of the grant (-1s when none).
+	OutPort    int `json:"out_port"`
+	DownRouter int `json:"down_router"`
+	DownPort   int `json:"down_port"`
+	DownVC     int `json:"down_vc"`
+}
+
+// ForensicsSnapshot is the flight recorder's dump at the moment an
+// invariant fired: the retained SPIN event tail, the reason, and the
+// chain of frozen/spinning VCs (each with its downstream grant, so the
+// deadlocked loop can be walked hop by hop).
+type ForensicsSnapshot struct {
+	Cycle  int64  `json:"cycle"`
+	Reason string `json:"reason"`
+	// Total is how many SPIN events the recorder saw over the whole run;
+	// len(Events) of them (the most recent) are retained.
+	Total  uint64  `json:"events_total"`
+	Events []Event `json:"events"`
+	// SpinningVCs is the freeze/spin chain: every frozen or spinning VC
+	// plus the downstream VCs their residents hold grants on.
+	SpinningVCs []VCForensics `json:"spinning_vcs,omitempty"`
+}
+
+// AttachFlightRecorder installs a flight recorder of the given capacity
+// on the network's telemetry layer (attaching an otherwise-inert layer
+// when none exists, preserving any probe/sampler already attached).
+// Returns the recorder.
+func (n *Network) AttachFlightRecorder(capacity int) *FlightRecorder {
+	rec := NewFlightRecorder(capacity)
+	if n.tele == nil {
+		n.AttachTelemetry(TelemetryOptions{Recorder: rec})
+	} else {
+		n.tele.opt.Recorder = rec
+	}
+	return rec
+}
+
+// FlightRecorder returns the attached recorder, or nil.
+func (n *Network) FlightRecorder() *FlightRecorder {
+	if n.tele == nil {
+		return nil
+	}
+	return n.tele.opt.Recorder
+}
+
+// CaptureForensics takes the first-failure snapshot: the event ring
+// plus the current frozen/spinning-VC chain. Only the first capture
+// sticks (the moment the first invariant fired is the diagnostic one);
+// later calls return the existing snapshot. It is a no-op (nil) without
+// an attached recorder. The invariant checker calls it from its report
+// path; harnesses call it directly for non-checker failures (e.g. an
+// incomplete drain).
+func (n *Network) CaptureForensics(reason string) *ForensicsSnapshot {
+	rec := n.FlightRecorder()
+	if rec == nil {
+		return nil
+	}
+	if rec.snap != nil {
+		return rec.snap
+	}
+	rec.snap = &ForensicsSnapshot{
+		Cycle:       n.now,
+		Reason:      reason,
+		Total:       rec.n,
+		Events:      rec.Events(),
+		SpinningVCs: n.vcChain(),
+	}
+	return rec.snap
+}
+
+// vcChain collects every frozen, spinning, or oracle-deadlocked VC plus
+// the downstream VCs reachable through their grants — the recovery (or
+// failed-to-recover) chain at snapshot time.
+func (n *Network) vcChain() []VCForensics {
+	seen := make(map[*VC]bool)
+	deadlocked := make(map[*VC]bool)
+	var chain []*VC
+	add := func(v *VC) {
+		if v != nil && !seen[v] {
+			seen[v] = true
+			chain = append(chain, v)
+		}
+	}
+	for _, r := range n.routers {
+		r.ForEachVC(func(v *VC) {
+			if v.frozen || v.spinning {
+				add(v)
+			}
+		})
+	}
+	// The oracle's deadlocked set covers the case recovery never ran
+	// (disabled protocol, exceeded bound): blocked VCs with no freeze or
+	// spin state still form the chain worth dumping.
+	for _, d := range n.FindDeadlock() {
+		v := n.routers[d.Router].in[d.Port][d.Index]
+		deadlocked[v] = true
+		add(v)
+	}
+	// Walk grants: each chain member's downstream target joins the chain,
+	// closing the loop when the deadlocked cycle bites its own tail.
+	for i := 0; i < len(chain); i++ {
+		add(chain[i].target)
+	}
+	out := make([]VCForensics, 0, len(chain))
+	for _, v := range chain {
+		f := VCForensics{
+			Router:     v.router.ID,
+			Port:       v.port,
+			VC:         v.index,
+			Frozen:     v.frozen,
+			Spinning:   v.spinning,
+			Deadlocked: deadlocked[v],
+			BufLen:     len(v.buf),
+			InFlight:   v.inFlight,
+			OutPort:    v.outPort,
+			DownRouter: -1,
+			DownPort:   -1,
+			DownVC:     -1,
+		}
+		if p := v.FrontPacket(); p != nil {
+			f.Packet = p.ID
+		}
+		if v.target != nil {
+			f.DownRouter = v.target.router.ID
+			f.DownPort = v.target.port
+			f.DownVC = v.target.index
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package sim
+
+import "testing"
+
+// probeFunc adapts a closure to the Probe interface.
+type probeFunc func(Event)
+
+func (f probeFunc) Event(e Event) { f(e) }
+
+func TestFlightRecorderCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1024}, {-5, 1024}, {1, 1}, {4, 4}, {5, 8}, {1000, 1024},
+	} {
+		if got := NewFlightRecorder(tc.in).Cap(); got != tc.want {
+			t.Errorf("NewFlightRecorder(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFlightRecorderFiltersAndWraps(t *testing.T) {
+	r := NewFlightRecorder(4)
+	// Flit-level kinds never enter the ring.
+	r.record(Event{Cycle: 0, Kind: EvFlitInject})
+	r.record(Event{Cycle: 0, Kind: EvPacketQueued})
+	if r.Total() != 0 {
+		t.Fatalf("non-SPIN events recorded: total %d", r.Total())
+	}
+	for i := int64(1); i <= 6; i++ {
+		r.record(Event{Cycle: i, Kind: EvSMSend, Router: int(i)})
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total %d, want 6", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want ring capacity 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(i + 3); e.Cycle != want {
+			t.Fatalf("event %d cycle %d, want %d (oldest-first tail)", i, e.Cycle, want)
+		}
+	}
+}
+
+func TestFlightRecorderEventsBeforeWrap(t *testing.T) {
+	r := NewFlightRecorder(8)
+	r.record(Event{Cycle: 1, Kind: EvSpinStart})
+	r.record(Event{Cycle: 2, Kind: EvSpinEnd})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Cycle != 1 || evs[1].Cycle != 2 {
+		t.Fatalf("pre-wrap events %v, want cycles 1,2", evs)
+	}
+}
+
+func TestCaptureForensicsSnapshotsVCChain(t *testing.T) {
+	n, v := vcFixture(t)
+	rec := n.AttachFlightRecorder(8)
+	n.tele.emit(Event{Cycle: 3, Kind: EvVCFreeze, Router: 1, Port: 2})
+	n.tele.emit(Event{Cycle: 4, Kind: EvFlitEject}) // filtered
+
+	p := &Packet{ID: 42, Length: 1}
+	v.enqueue(Flit{Pkt: p, Seq: 0}, 3)
+	v.frozen = true
+	v.outPort = 1
+	down := n.Router(0).VC(1, 1)
+	down.spinning = true
+	v.target = down
+
+	snap := n.CaptureForensics("test_rule")
+	if snap == nil || n.FlightRecorder().Snapshot() != snap {
+		t.Fatal("CaptureForensics did not install a snapshot")
+	}
+	if snap.Reason != "test_rule" || snap.Total != 1 || len(snap.Events) != 1 {
+		t.Fatalf("snapshot reason=%q total=%d events=%d, want test_rule/1/1",
+			snap.Reason, snap.Total, len(snap.Events))
+	}
+	if len(snap.SpinningVCs) != 2 {
+		t.Fatalf("chain has %d VCs, want 2 (frozen VC + its grant target)", len(snap.SpinningVCs))
+	}
+	var frozen, spinning *VCForensics
+	for i := range snap.SpinningVCs {
+		f := &snap.SpinningVCs[i]
+		if f.Frozen {
+			frozen = f
+		}
+		if f.Spinning {
+			spinning = f
+		}
+	}
+	if frozen == nil || spinning == nil {
+		t.Fatalf("chain %+v missing frozen or spinning entry", snap.SpinningVCs)
+	}
+	if frozen.Router != 1 || frozen.Port != 2 || frozen.VC != 0 || frozen.Packet != 42 {
+		t.Errorf("frozen VC = %+v, want router 1 port 2 vc 0 packet 42", frozen)
+	}
+	if frozen.DownRouter != 0 || frozen.DownPort != 1 || frozen.DownVC != 1 {
+		t.Errorf("frozen VC downstream = (%d,%d,%d), want (0,1,1)",
+			frozen.DownRouter, frozen.DownPort, frozen.DownVC)
+	}
+	if spinning.DownRouter != -1 {
+		t.Errorf("chain-tail VC downstream router %d, want -1", spinning.DownRouter)
+	}
+
+	// Only the first capture sticks.
+	if again := n.CaptureForensics("other"); again != snap || again.Reason != "test_rule" {
+		t.Fatal("second CaptureForensics replaced the first snapshot")
+	}
+	_ = rec
+}
+
+func TestAttachFlightRecorderPreservesProbe(t *testing.T) {
+	n, _ := vcFixture(t)
+	var probed int
+	n.AttachTelemetry(TelemetryOptions{Probe: probeFunc(func(Event) { probed++ })})
+	n.AttachFlightRecorder(8)
+	if n.tele.opt.Probe == nil {
+		t.Fatal("attaching the flight recorder dropped the probe")
+	}
+	n.tele.emit(Event{Kind: EvSMSend})
+	if probed != 1 {
+		t.Fatalf("probe saw %d events, want 1", probed)
+	}
+	if n.FlightRecorder().Total() != 1 {
+		t.Fatalf("recorder saw %d events, want 1", n.FlightRecorder().Total())
+	}
+}
+
+func TestCaptureForensicsWithoutRecorderIsNil(t *testing.T) {
+	n, _ := vcFixture(t)
+	if snap := n.CaptureForensics("x"); snap != nil {
+		t.Fatalf("capture without recorder returned %+v", snap)
+	}
+}

@@ -1,0 +1,59 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestLatencyHistQuantileEdges pins the quantile estimator's edge
+// behaviour: an empty histogram answers 0 for every q, identical
+// samples keep every quantile inside their single bucket and clamp
+// exactly to the observed value at q=1, a sparse top bucket never
+// interpolates past the observed max, and non-positive samples quantile
+// to 0 from bucket zero.
+func TestLatencyHistQuantileEdges(t *testing.T) {
+	var empty sim.LatencyHist
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+
+	// Single bucket: five samples of 5 all land in the log2 bucket
+	// [4,7]; every estimate stays in [4, max] and q=1 is exactly the max
+	// (linear interpolation would say 7; the clamp keeps it honest).
+	var one sim.LatencyHist
+	for i := 0; i < 5; i++ {
+		one.Observe(5)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.95, 1} {
+		got := one.Quantile(q)
+		if got < 4 || got > 5 {
+			t.Errorf("single-bucket Quantile(%g) = %g, want within [4,5]", q, got)
+		}
+	}
+	if got := one.Quantile(1); got != 5 {
+		t.Errorf("single-bucket Quantile(1) = %g, want exactly the max 5", got)
+	}
+
+	// Max-clamp: one sample at 1 and one at 1025. The top bucket spans
+	// [1024,2047], so uncorrected interpolation at q=1 would report 2047
+	// — almost double anything ever observed.
+	var sparse sim.LatencyHist
+	sparse.Observe(1)
+	sparse.Observe(1025)
+	if got := sparse.Quantile(1); got != 1025 {
+		t.Errorf("sparse Quantile(1) = %g, want the observed max 1025", got)
+	}
+	if got := sparse.Quantile(0.5); got != 1 {
+		t.Errorf("sparse Quantile(0.5) = %g, want 1 (the lower sample)", got)
+	}
+
+	// Non-positive samples live in bucket zero and quantile to 0.
+	var zero sim.LatencyHist
+	zero.Observe(0)
+	if got := zero.Quantile(0.99); got != 0 {
+		t.Errorf("zero-valued Quantile(0.99) = %g, want 0", got)
+	}
+}

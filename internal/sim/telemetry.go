@@ -260,6 +260,9 @@ type TelemetryOptions struct {
 	Hist bool
 	// Probe, when non-nil, receives every discrete event.
 	Probe Probe
+	// Recorder, when non-nil, keeps a bounded ring of SPIN protocol
+	// events for post-mortem forensics (see FlightRecorder).
+	Recorder *FlightRecorder
 }
 
 // Telemetry is the per-network observability state. Obtain one with
@@ -300,14 +303,20 @@ func (n *Network) AttachTelemetry(opt TelemetryOptions) *Telemetry {
 // Telemetry returns the attached observability layer, or nil.
 func (n *Network) Telemetry() *Telemetry { return n.tele }
 
-// emit delivers an event to the probe. Call sites guard with probeOn()
-// so no Event struct is built when nobody listens.
+// emit delivers an event to the flight recorder and the probe. Call
+// sites guard with probeOn() so no Event struct is built when nobody
+// listens.
 func (t *Telemetry) emit(e Event) {
-	t.opt.Probe.Event(e)
+	if t.opt.Recorder != nil {
+		t.opt.Recorder.record(e)
+	}
+	if t.opt.Probe != nil {
+		t.opt.Probe.Event(e)
+	}
 }
 
 // probeOn reports whether events need to be constructed at all.
-func (t *Telemetry) probeOn() bool { return t.opt.Probe != nil }
+func (t *Telemetry) probeOn() bool { return t.opt.Probe != nil || t.opt.Recorder != nil }
 
 // Latency returns the measurement-window latency histogram (nil unless
 // TelemetryOptions.Hist was set).

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/otrace"
+)
+
+func TestWriteSpanTraceMergesNodes(t *testing.T) {
+	a := otrace.NewTracer("a", 0)
+	b := otrace.NewTracer("b", 0)
+	root := a.StartRequest("request", "")
+	proxy := root.StartChild("proxy:b")
+	remote := b.StartRequest("request", proxy.Traceparent())
+	remote.StartChild("compute").End()
+	remote.End()
+	proxy.End()
+	root.End()
+
+	merged := append(a.Trace(root.TraceID()), b.Trace(root.TraceID())...)
+	if len(merged) != 4 {
+		t.Fatalf("merged %d spans, want 4", len(merged))
+	}
+	var buf bytes.Buffer
+	if err := WriteSpanTrace(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Dur  int64          `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("span trace is not valid JSON: %v", err)
+	}
+
+	procNames := map[string]bool{}
+	pidsByName := map[string]int{}
+	spanPids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			name, _ := e.Args["name"].(string)
+			procNames[name] = true
+			pidsByName[name] = e.Pid
+		case "X":
+			spanPids[e.Pid] = true
+			if e.Dur < 1 {
+				t.Errorf("span %s has zero-extent dur %d", e.Name, e.Dur)
+			}
+			if e.Args["trace_id"] != root.TraceID() {
+				t.Errorf("span %s trace_id %v, want %s", e.Name, e.Args["trace_id"], root.TraceID())
+			}
+		}
+	}
+	if !procNames["node a"] || !procNames["node b"] {
+		t.Fatalf("process names %v, want node a and node b", procNames)
+	}
+	if len(spanPids) != 2 {
+		t.Fatalf("spans landed on %d pids, want 2 (one per node)", len(spanPids))
+	}
+	if pidsByName["node a"] == pidsByName["node b"] {
+		t.Fatal("nodes a and b share a pid")
+	}
+}
+
+func TestWriteSpanTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpanTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("empty span trace is not valid JSON")
+	}
+}

@@ -25,6 +25,7 @@ type traceEvent struct {
 	Cat   string         `json:"cat,omitempty"`
 	Ph    string         `json:"ph"`
 	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"` // "X" complete events only
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	ID    uint64         `json:"id,omitempty"`

@@ -5,7 +5,10 @@
 # response is byte-identical (sha256) to the reference node's answer,
 # repeat the sweep rotated one node over and prove zero new simulations
 # ran (the fleet answered from its distributed cache), stream one
-# request over SSE, SIGKILL a node mid-sweep and assert the survivors
+# request over SSE, trace one proxied request end to end (traceparent
+# propagation across the hop, both nodes logging the same trace ID, a
+# merged /v1/trace timeline with spans from >=2 nodes, a
+# Perfetto-loadable rendering), SIGKILL a node mid-sweep and assert the survivors
 # answer everything — still byte-identical — and detect the death via
 # gossip. With SMOKE_ARTIFACTS_DIR set, per-node logs and metrics are
 # left there for CI to upload. Run from the repo root.
@@ -22,6 +25,7 @@ collect_artifacts() {
   if [ -n "${SMOKE_ARTIFACTS_DIR:-}" ]; then
     mkdir -p "$SMOKE_ARTIFACTS_DIR"
     cp "$TMP"/*.log "$SMOKE_ARTIFACTS_DIR/" 2>/dev/null || true
+    cp "$TMP/trace-merged.json" "$TMP/trace-merged-perfetto.json" "$SMOKE_ARTIFACTS_DIR/" 2>/dev/null || true
     for a in "$A1" "$A2" "$A3"; do
       curl -fsS --max-time 2 "http://$a/metrics" > "$SMOKE_ARTIFACTS_DIR/metrics-$a.txt" 2>/dev/null || true
       curl -fsS --max-time 2 "http://$a/v1/fleet" > "$SMOKE_ARTIFACTS_DIR/fleet-$a.json" 2>/dev/null || true
@@ -125,6 +129,40 @@ curl -fsSN -o "$TMP/sse.txt" -d "$SSEBODY" "http://$A1/v1/simulate?stream=sse"
 grep -q '^event: sample' "$TMP/sse.txt" || { echo "SSE stream carried no sample events:"; cat "$TMP/sse.txt"; exit 1; }
 grep -q '^event: result' "$TMP/sse.txt" || { echo "SSE stream carried no result event"; exit 1; }
 
+echo "== distributed tracing: traceparent propagation across a proxied hop"
+TID="feedfacecafebeeffeedfacecafebeef"
+PROXIED=""
+for seed in $(seq 40 60); do
+  curl -fsS -D "$TMP/th" -o "$TMP/tr" \
+    -H "traceparent: 00-$TID-00f067aa0ba902b7-01" \
+    -d "$(body "$seed")" "http://$A1/v1/simulate"
+  if grep -qi '^x-fleet: proxy:' "$TMP/th"; then PROXIED="$seed"; break; fi
+done
+[ -n "$PROXIED" ] || { echo "no seed in 40..60 proxied from n1; every key landed on n1?"; exit 1; }
+grep -qi "^traceparent: 00-$TID-" "$TMP/th" \
+  || { echo "response did not adopt the caller's trace ID:"; cat "$TMP/th"; exit 1; }
+OWNER="$(grep -i '^x-fleet:' "$TMP/th" | tr -d '[:space:]\r' | cut -d: -f3)"
+grep -q "\"trace\":\"$TID\"" "$TMP/n1.log" \
+  || { echo "n1 request log lacks the propagated trace ID:"; cat "$TMP/n1.log"; exit 1; }
+grep -q "\"trace\":\"$TID\"" "$TMP/$OWNER.log" \
+  || { echo "owner $OWNER request log lacks the propagated trace ID:"; cat "$TMP/$OWNER.log"; exit 1; }
+
+echo "== merged cross-node timeline (/v1/trace/<id>)"
+curl -fsS -o "$TMP/trace-merged.json" "http://$A1/v1/trace/$TID"
+nodes="$(grep -o '"node":"[^"]*"' "$TMP/trace-merged.json" | sort -u | wc -l)"
+[ "$nodes" -ge 2 ] \
+  || { echo "merged trace has spans from $nodes node(s), want >=2:"; cat "$TMP/trace-merged.json"; exit 1; }
+grep -q '"name":"proxy:' "$TMP/trace-merged.json" \
+  || { echo "merged trace lacks the proxy hop span:"; cat "$TMP/trace-merged.json"; exit 1; }
+curl -fsS -o "$TMP/trace-merged-perfetto.json" "http://$A1/v1/trace/$TID?format=perfetto"
+grep -q '"traceEvents"' "$TMP/trace-merged-perfetto.json" \
+  || { echo "merged perfetto trace malformed:"; cat "$TMP/trace-merged-perfetto.json"; exit 1; }
+echo "   merged timeline spans $nodes nodes (proxied seed $PROXIED, owner $OWNER)"
+
+echo "== build identity gossiped into the fleet view"
+grep -q '"version":' "$TMP/fleet.json" \
+  || { echo "fleet members carry no version field:"; cat "$TMP/fleet.json"; exit 1; }
+
 echo "== SIGKILL n3 mid-sweep: survivors keep answering, byte-identical"
 N3_PID="${PIDS[3]}"
 for seed in $(seq 20 25); do
@@ -156,5 +194,5 @@ echo "== graceful drain of the survivors"
 kill -TERM "${PIDS[1]}" "${PIDS[2]}" "${PIDS[0]}"
 wait "${PIDS[1]}" "${PIDS[2]}" "${PIDS[0]}" 2>/dev/null || true
 
-grep -q 'fleet=' "$TMP/n1.log" || { echo "n1 request log has no fleet fields:"; cat "$TMP/n1.log"; exit 1; }
+grep -q '"fleet":' "$TMP/n1.log" || { echo "n1 request log has no fleet fields:"; cat "$TMP/n1.log"; exit 1; }
 echo "smoke_fleet: OK"

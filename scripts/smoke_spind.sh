@@ -65,11 +65,32 @@ for field in '"latency"' '"p50"' '"p95"' '"p99"' '"time_series"' '"spin-timeseri
 done
 grep -q '"latency"' "$TMP/r1" && { echo "plain response leaks telemetry fields"; exit 1; }
 
-echo "== request log"
-grep -E 'req id=[0-9a-f]+-[0-9]+ endpoint=simulate code=200 cache=miss key=[0-9a-f]{64} dur=' "$TMP/spind.log" >/dev/null \
-  || { echo "no structured miss line:"; cat "$TMP/spind.log"; exit 1; }
-grep -E 'req id=.* endpoint=simulate code=200 cache=hit ' "$TMP/spind.log" >/dev/null \
-  || { echo "no structured hit line:"; cat "$TMP/spind.log"; exit 1; }
+echo "== request log (structured JSON records)"
+grep -E '"msg":"request","id":"[0-9a-f]+-[0-9]+","endpoint":"simulate","code":200,"cache":"miss","key":"[0-9a-f]{64}"' "$TMP/spind.log" >/dev/null \
+  || { echo "no structured miss record:"; cat "$TMP/spind.log"; exit 1; }
+grep -E '"endpoint":"simulate","code":200,"cache":"hit"' "$TMP/spind.log" >/dev/null \
+  || { echo "no structured hit record:"; cat "$TMP/spind.log"; exit 1; }
+grep -E '"trace":"[0-9a-f]{32}","span":"[0-9a-f]{16}"' "$TMP/spind.log" >/dev/null \
+  || { echo "request records carry no trace/span IDs:"; cat "$TMP/spind.log"; exit 1; }
+
+echo "== server-side tracing (?trace=server, /v1/trace/<id>)"
+curl -fsS -o "$TMP/r7" -d "$BODY" "http://$ADDR/v1/simulate?trace=server"
+grep -q '"trace_id":"' "$TMP/r7" || { echo "?trace=server carried no trace envelope:"; cat "$TMP/r7"; exit 1; }
+grep -q '"name":"cache"' "$TMP/r7" || { echo "?trace=server has no cache span:"; cat "$TMP/r7"; exit 1; }
+grep -q '"key":"' "$TMP/r7" || { echo "?trace=server lost the result body:"; cat "$TMP/r7"; exit 1; }
+TRACE_ID="$(sed -n 's/.*"trace_id":"\([0-9a-f]\{32\}\)".*/\1/p' "$TMP/r7")"
+curl -fsS -o "$TMP/trace.json" "http://$ADDR/v1/trace/$TRACE_ID"
+grep -q '"name":"simulate"' "$TMP/trace.json" || { echo "/v1/trace lacks the root span:"; cat "$TMP/trace.json"; exit 1; }
+curl -fsS -o "$TMP/trace-perfetto.json" "http://$ADDR/v1/trace/$TRACE_ID?format=perfetto"
+grep -q '"traceEvents"' "$TMP/trace-perfetto.json" || { echo "perfetto trace malformed:"; cat "$TMP/trace-perfetto.json"; exit 1; }
+
+echo "== build info (/v1/version + spind_build_info)"
+curl -fsS -o "$TMP/version.json" "http://$ADDR/v1/version"
+grep -q '"go":"go' "$TMP/version.json" || { echo "/v1/version malformed:"; cat "$TMP/version.json"; exit 1; }
+curl -fsS -o "$TMP/metrics2" "http://$ADDR/metrics"
+grep -q '^spind_build_info{' "$TMP/metrics2" || { echo "no spind_build_info metric"; exit 1; }
+grep -q 'spind_span_duration_seconds_bucket{span="simulate"' "$TMP/metrics2" \
+  || { echo "no span-duration histogram"; exit 1; }
 
 echo "== trace upload (spintrace -pack -b64 -> /v1/simulate trace_b64)"
 go build -o "$TMP/spintrace" ./cmd/spintrace
@@ -114,6 +135,7 @@ if [ -n "${SMOKE_ARTIFACTS_DIR:-}" ]; then
   cp "$TMP/r3" "$SMOKE_ARTIFACTS_DIR/telemetry-response.json"
   cp "$TMP/metrics" "$SMOKE_ARTIFACTS_DIR/metrics.txt"
   cp "$TMP/spind.log" "$SMOKE_ARTIFACTS_DIR/spind-request-log.txt"
+  cp "$TMP/trace-perfetto.json" "$SMOKE_ARTIFACTS_DIR/request-trace-perfetto.json"
 fi
 
 echo "smoke: OK"
